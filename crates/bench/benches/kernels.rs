@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks of the framework's hot kernels.
+//!
+//! These measure the building blocks whose costs dominate the experiment
+//! binaries: the levelized cycle evaluation of the MPU netlist, the
+//! bit-parallel trace sweep, the transient strike simulation, RTL stepping
+//! and checkpoint replay, and one full fault-attack run down each of the
+//! three flow paths (masked / analytic / RTL resume).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::ExperimentConfig;
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_fault::AttackSample;
+use xlmc_gatesim::bitparallel::{evaluate_combinational, PackedTraces};
+use xlmc_soc::workloads;
+use xlmc_soc::{MpuBit, Soc};
+
+struct Setup {
+    model: SystemModel,
+    eval: Evaluation,
+    prechar: Precharacterization,
+}
+
+fn setup() -> Setup {
+    let model = SystemModel::with_defaults().unwrap();
+    let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+    let cfg = ExperimentConfig::default();
+    let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+    Setup {
+        model,
+        eval,
+        prechar,
+    }
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let s = setup();
+    let netlist = s.model.mpu.netlist();
+    let state = s
+        .model
+        .mpu
+        .state_vector(&s.eval.golden.mpu_states[100]);
+    let stim = &s.eval.golden.stimulus[100];
+    let inputs = s.model.mpu.input_values(stim.request, stim.cfg_write);
+
+    let mut g = c.benchmark_group("gatesim");
+    g.bench_function("mpu_cycle_eval", |b| {
+        b.iter(|| {
+            black_box(
+                s.model
+                    .cycle_sim
+                    .eval(netlist, black_box(&state), black_box(&inputs)),
+            )
+        })
+    });
+
+    let values = s.model.cycle_sim.eval(netlist, &state, &inputs);
+    let struck = s
+        .model
+        .placement
+        .cells_within(s.model.mpu.responding_signal(), 2.0);
+    g.bench_function("transient_strike_r2", |b| {
+        b.iter(|| {
+            black_box(s.model.transient.strike(
+                netlist,
+                black_box(&values),
+                black_box(&struck),
+                1_000.0,
+            ))
+        })
+    });
+
+    // Bit-parallel sweep over 512 recorded cycles.
+    let cycles = 512usize;
+    let mut traces = PackedTraces::zeroed(netlist, cycles);
+    for c in 0..cycles {
+        let idx = c % s.eval.golden.cycles as usize;
+        let vec = s.model.mpu.state_vector(&s.eval.golden.mpu_states[idx]);
+        for (i, &dff) in netlist.dffs().iter().enumerate() {
+            traces.set_value(dff, c, vec[i]);
+        }
+        let st = &s.eval.golden.stimulus[idx];
+        let ins = s.model.mpu.input_values(st.request, st.cfg_write);
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            traces.set_value(pi, c, ins[i]);
+        }
+    }
+    g.bench_function("bitparallel_512_cycles", |b| {
+        b.iter_batched(
+            || traces.clone(),
+            |mut t| evaluate_combinational(netlist, &mut t).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rtl_kernels(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("rtl");
+
+    let w = workloads::illegal_write();
+    g.bench_function("soc_step", |b| {
+        b.iter_batched(
+            || Soc::new(&w.program),
+            |mut soc| {
+                for _ in 0..100 {
+                    soc.step();
+                }
+                soc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("checkpoint_clone", |b| {
+        let ckpt = s.eval.golden.nearest_checkpoint(100);
+        b.iter(|| black_box(ckpt.clone()))
+    });
+
+    g.bench_function("replay_from_checkpoint_32", |b| {
+        let target = 100u64;
+        b.iter(|| {
+            let mut soc = s.eval.golden.nearest_checkpoint(target).clone();
+            while soc.cycle < target {
+                soc.step();
+            }
+            black_box(soc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_paths(c: &mut Criterion) {
+    let s = setup();
+    let runner = FaultRunner {
+        model: &s.model,
+        eval: &s.eval,
+        prechar: &s.prechar,
+        hardening: None,
+    };
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(30);
+
+    // Masked path: a quiet combinational cell at a phase that misses the
+    // latching window.
+    let quiet = AttackSample {
+        t: 5,
+        center: s.model.mpu.responding_signal(),
+        radius: 0.0,
+        phase: 0,
+    };
+    // Analytic path: an inert config register.
+    let analytic = AttackSample {
+        t: 5,
+        center: s.model.mpu.dff(MpuBit::Base(2, 9)),
+        radius: 0.0,
+        phase: 0,
+    };
+    // RTL path: the enable register (contaminating -> full simulation).
+    let rtl = AttackSample {
+        t: 5,
+        center: s.model.mpu.dff(MpuBit::Enable),
+        radius: 0.0,
+        phase: 0,
+    };
+    for (name, sample) in [
+        ("attack_run_masked", quiet),
+        ("attack_run_analytic", analytic),
+        ("attack_run_rtl", rtl),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(runner.run(black_box(&sample), &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gate_kernels, bench_rtl_kernels, bench_flow_paths);
+criterion_main!(benches);

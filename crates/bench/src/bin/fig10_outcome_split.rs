@@ -1,0 +1,114 @@
+//! Figure 10: strike-outcome statistics and SSF by struck cell type.
+//!
+//! Reproduces "(a) error statistics induced by attacking combinational
+//! gates" — the masked / memory-only / both split that motivates the
+//! analytic shortcut (paper: 68.3% / 28.6% / 3.1%) — and "(b) SSF
+//! comparison" between attacks on registers and attacks on combinational
+//! gates (paper: 271 vs 70 successes out of 2,000; SSF 0.027 vs 0.007).
+
+use xlmc::estimator::run_campaign;
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::RandomSampling;
+use xlmc_bench::{pct, print_table, ExperimentContext};
+use xlmc_fault::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
+use xlmc_netlist::{CellKind, GateId};
+
+fn main() {
+    let ctx = ExperimentContext::build();
+    let runner = FaultRunner {
+        model: &ctx.model,
+        eval: &ctx.write_eval,
+        prechar: &ctx.prechar,
+        hardening: None,
+    };
+    let netlist = ctx.model.mpu.netlist();
+    let comb_cells: Vec<GateId> = ctx
+        .model
+        .placement
+        .placeable()
+        .iter()
+        .copied()
+        .filter(|&g| netlist.gate(g).kind != CellKind::Dff)
+        .collect();
+    let reg_cells: Vec<GateId> = ctx
+        .model
+        .placement
+        .placeable()
+        .iter()
+        .copied()
+        .filter(|&g| netlist.gate(g).kind == CellKind::Dff)
+        .collect();
+
+    let dist_over = |cells: Vec<GateId>| AttackDistribution {
+        temporal: TemporalDist::uniform(1, ctx.cfg.t_max),
+        spatial: SpatialDist::UniformOverCells(cells),
+        radius: RadiusDist::uniform(ctx.cfg.radius_options.clone()),
+    };
+
+    // Figure 10(a): outcome split for attacks on combinational gates.
+    eprintln!("[fig10] attacking combinational gates ...");
+    let comb = run_campaign(
+        &runner,
+        &RandomSampling::new(dist_over(comb_cells)),
+        2_000,
+        0xA10,
+    );
+    let (masked, mem, both) = comb.class_counts.fractions();
+    print_table(
+        "Figure 10(a): outcomes of attacks on combinational gates",
+        &["outcome", "share", "count"],
+        &[
+            vec![
+                "masked".into(),
+                pct(masked),
+                comb.class_counts.masked.to_string(),
+            ],
+            vec![
+                "memory-type only".into(),
+                pct(mem),
+                comb.class_counts.memory_only.to_string(),
+            ],
+            vec![
+                "both (needs RTL)".into(),
+                pct(both),
+                comb.class_counts.mixed.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "  analytic runs: {}, RTL runs: {} (paper: only 3.1% of runs need \
+         further RTL simulation)",
+        comb.analytic_runs, comb.rtl_runs
+    );
+
+    // Figure 10(b): SSF from register strikes vs combinational strikes.
+    eprintln!("[fig10] attacking registers ...");
+    let regs = run_campaign(
+        &runner,
+        &RandomSampling::new(dist_over(reg_cells)),
+        2_000,
+        0xB10,
+    );
+    print_table(
+        "Figure 10(b): SSF by struck cell type (2,000 attacks each)",
+        &["strategy", "# succ. attack", "SSF"],
+        &[
+            vec![
+                "registers".into(),
+                regs.successes.to_string(),
+                format!("{:.4}", regs.ssf),
+            ],
+            vec![
+                "comb. gates".into(),
+                comb.successes.to_string(),
+                format!("{:.4}", comb.ssf),
+            ],
+        ],
+    );
+    if regs.ssf > 0.0 {
+        println!(
+            "  comb/register SSF ratio: {} (paper: around 25.8%)",
+            pct(comb.ssf / regs.ssf)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment harness for the `xlmc` reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation section (§6) lives
+//! under `src/bin`; this library holds the shared experiment context and
+//! small report-formatting helpers. Criterion micro-benchmarks of the hot
+//! kernels live under `benches/`.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig04_characterization` | Fig. 4(a,b): lifetime / contamination distributions |
+//! | `fig07_error_patterns`   | Fig. 7(a,b): bit-error patterns, comb vs seq |
+//! | `fig08_sampling_dist`    | Fig. 8(a,b): `g_T` and sample-space reduction |
+//! | `fig09_convergence`      | Fig. 9(a,b): convergence + variance table |
+//! | `fig10_outcome_split`    | Fig. 10(a,b): strike classes + SSF comb vs reg |
+//! | `fig11_attack_uncertainty` | Fig. 11(a,b): temporal/spatial accuracy sweeps |
+//! | `hardening_study`        | §6 hardening claim: top registers, SSF reduction, area |
+//! | `ablation_alpha_beta`    | extension: sensitivity of `g_{T,P}` to α/β |
+
+use xlmc::sampling::ExperimentConfig;
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_soc::workloads;
+
+/// Everything the figure binaries need, built once per process.
+pub struct ExperimentContext {
+    /// The gate-level system model.
+    pub model: SystemModel,
+    /// The illegal-write evaluation (the primary benchmark).
+    pub write_eval: Evaluation,
+    /// The illegal-read evaluation.
+    pub read_eval: Evaluation,
+    /// The shared pre-characterization.
+    pub prechar: Precharacterization,
+    /// The experiment parameters.
+    pub cfg: ExperimentConfig,
+}
+
+impl ExperimentContext {
+    /// Build the full context with default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stock model or workloads fail to build — that would be
+    /// a bug, not an input error.
+    pub fn build() -> Self {
+        Self::build_with(ExperimentConfig::default())
+    }
+
+    /// Build with custom experiment parameters.
+    ///
+    /// # Panics
+    ///
+    /// See [`ExperimentContext::build`].
+    pub fn build_with(cfg: ExperimentConfig) -> Self {
+        eprintln!("[setup] building system model and golden runs ...");
+        let model = SystemModel::with_defaults().expect("stock model must build");
+        let write_eval =
+            Evaluation::new(workloads::illegal_write()).expect("write workload golden run");
+        let read_eval =
+            Evaluation::new(workloads::illegal_read()).expect("read workload golden run");
+        eprintln!("[setup] running pre-characterization ...");
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        eprintln!("[setup] done.");
+        Self {
+            model,
+            write_eval,
+            read_eval,
+            prechar,
+            cfg,
+        }
+    }
+}
+
+/// Print a fixed-width table with a title.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Render a unit-interval value as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// A crude ASCII sparkline for convergence-style series.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v - min) / span * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_value() {
+        let s = sparkline(&[0.0, 0.5, 1.0, 0.25]);
+        assert_eq!(s.chars().count(), 4);
+    }
+
+    #[test]
+    fn sparkline_handles_constant_series() {
+        let s = sparkline(&[0.4, 0.4, 0.4]);
+        assert_eq!(s.chars().count(), 3);
+    }
+}

@@ -1,0 +1,236 @@
+//! Analytical outcome evaluation for memory-type errors (paper §4/§5.2).
+//!
+//! "When errors only exist in memory-type registers, we only need
+//! analytical evaluation to determine the error impact." Memory-type errors
+//! in this design live in the MPU configuration (and sticky status)
+//! registers; their effect is fully captured by the pure protection
+//! predicate [`xlmc_soc::MpuConfig::allows`]. The evaluation therefore
+//! replays the golden run's recorded access trace against the *mutated*
+//! configuration:
+//!
+//! * the target access must now pass (the illegal transition is created),
+//! * every other recorded access must keep its golden verdict (a legal
+//!   access that now violates traps the core and isolates the process —
+//!   attack caught),
+//! * the goal-specific follow-up accesses (e.g. the read scenario's leak
+//!   store) must also pass.
+//!
+//! No RTL simulation is needed — this is the shortcut that lets the flow
+//! skip the ~29% of strikes whose errors land only in memory-type
+//! registers (paper Figure 10(a)).
+
+use crate::model::Evaluation;
+use xlmc_soc::workloads::LEAK_ADDR;
+use xlmc_soc::{AccessKind, AttackGoal, MpuBit, MpuState};
+
+/// The analytical verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyticVerdict {
+    /// The attack succeeds: illegal transition created, nothing else trips.
+    Success,
+    /// The attack fails (caught, or the errors are functionally inert).
+    Failure,
+    /// The error set is outside the analytical model's reach; the flow must
+    /// fall back to RTL simulation.
+    NotApplicable,
+}
+
+/// Evaluate a memory-type error set injected at the start of cycle
+/// `injection_cycle + 1` (errors latched at the end of `injection_cycle`).
+pub fn evaluate(
+    eval: &Evaluation,
+    faulty_bits: &[MpuBit],
+    injection_cycle: u64,
+) -> AnalyticVerdict {
+    // Capability guard: only configuration and sticky bits are captured by
+    // the pure predicate.
+    if !faulty_bits
+        .iter()
+        .all(|b| b.is_config() || b.is_sticky())
+    {
+        return AnalyticVerdict::NotApplicable;
+    }
+    // Sticky bits are pure status: no functional effect. If nothing else is
+    // faulty the run behaves exactly like the golden run — a failed attack.
+    if faulty_bits.iter().all(|b| b.is_sticky()) {
+        return AnalyticVerdict::Failure;
+    }
+    // A configuration write after the injection would overwrite the error
+    // in a way the static analysis cannot track.
+    let golden = &eval.golden;
+    let later_cfg_write = golden
+        .stimulus
+        .iter()
+        .skip((injection_cycle + 1) as usize)
+        .any(|s| s.cfg_write.is_some());
+    if later_cfg_write {
+        return AnalyticVerdict::NotApplicable;
+    }
+
+    // The mutated configuration: golden state entering the first faulty
+    // cycle, with the error bits toggled.
+    let base_idx = ((injection_cycle + 1).min(golden.cycles - 1)) as usize;
+    let mut mutated: MpuState = golden.mpu_states[base_idx];
+    for &b in faulty_bits {
+        if b.is_config() {
+            mutated.toggle_bit(b);
+        }
+    }
+    let cfg = mutated.config;
+
+    // Errors latched at the end of `injection_cycle` influence checks from
+    // cycle `injection_cycle + 1`, whose verdicts resolve from
+    // `injection_cycle + 2` on.
+    let first_affected_resolution = injection_cycle + 2;
+    let mut target_seen = false;
+    for access in &golden.access_trace {
+        if access.cycle < first_affected_resolution {
+            continue;
+        }
+        let new_allowed = cfg.allows(access.req.addr, access.req.kind, access.req.user);
+        if access.cycle == eval.target_cycle {
+            target_seen = true;
+            if !new_allowed {
+                // The malicious access is still caught: golden behavior.
+                return AnalyticVerdict::Failure;
+            }
+        } else if access.allowed && !new_allowed {
+            // A legal access now violates: trap fires, process isolated.
+            return AnalyticVerdict::Failure;
+        } else if !access.allowed && new_allowed {
+            // Some other blocked access now passes; behavior diverges in a
+            // way the static replay cannot follow.
+            return AnalyticVerdict::NotApplicable;
+        }
+    }
+    if !target_seen {
+        // The error cannot reach the target access (injected too late or
+        // the trace is odd): behave like golden.
+        return AnalyticVerdict::Failure;
+    }
+
+    // Goal-specific follow-up accesses executed only on the success path.
+    let follow_ups: &[(u16, AccessKind)] = match eval.workload.goal {
+        AttackGoal::IllegalWrite => &[],
+        AttackGoal::IllegalRead => &[(LEAK_ADDR, AccessKind::Write)],
+    };
+    for &(addr, kind) in follow_ups {
+        if !cfg.allows(addr, kind, true) {
+            return AnalyticVerdict::Failure;
+        }
+    }
+    AnalyticVerdict::Success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Evaluation;
+    use xlmc_soc::workloads;
+
+    fn eval_write() -> Evaluation {
+        Evaluation::new(workloads::illegal_write()).unwrap()
+    }
+
+    fn te(eval: &Evaluation) -> u64 {
+        eval.target_cycle - 10
+    }
+
+    #[test]
+    fn enable_bit_flip_succeeds() {
+        // Disabling the MPU lets everything through: the canonical
+        // memory-type attack.
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::Enable], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::Success);
+    }
+
+    #[test]
+    fn limit_extension_succeeds() {
+        // Region 0 limit 0x5fff -> flip bit 13 -> 0x7fff covers the secret.
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::Limit(0, 13)], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::Success);
+    }
+
+    #[test]
+    fn limit_shrink_fails_attack() {
+        // Flipping limit bit 14 (0x5fff -> 0x1fff) makes the *legal* user
+        // traffic violate: the attack gets the process isolated early.
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::Limit(0, 14)], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::Failure);
+    }
+
+    #[test]
+    fn unused_region_bit_is_inert() {
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::Base(2, 5)], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::Failure);
+    }
+
+    #[test]
+    fn sticky_only_errors_fail() {
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::StickyViol, MpuBit::StickyAddr(3)], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::Failure);
+    }
+
+    #[test]
+    fn pipe_bits_are_not_applicable() {
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::PipeValid], te(&e));
+        assert_eq!(verdict, AnalyticVerdict::NotApplicable);
+    }
+
+    #[test]
+    fn injection_during_setup_is_not_applicable() {
+        // Config writes still pending -> static analysis declines.
+        let e = eval_write();
+        let verdict = evaluate(&e, &[MpuBit::Enable], 2);
+        assert_eq!(verdict, AnalyticVerdict::NotApplicable);
+    }
+
+    /// The critical soundness test: the analytical verdict must agree with
+    /// a full RTL fault simulation for every single config-bit flip.
+    #[test]
+    fn analytic_agrees_with_rtl_on_every_config_bit() {
+        let e = eval_write();
+        let inject_at = te(&e);
+        for bit in MpuBit::all() {
+            if !bit.is_config() {
+                continue;
+            }
+            let verdict = evaluate(&e, &[bit], inject_at);
+            if verdict == AnalyticVerdict::NotApplicable {
+                continue;
+            }
+            // RTL reference: restore, run to the injection cycle, execute
+            // it, flip, resume.
+            let mut soc = e.golden.nearest_checkpoint(inject_at).clone();
+            while soc.cycle < inject_at {
+                soc.step();
+            }
+            soc.step();
+            soc.mpu.toggle_bit(bit);
+            soc.run_until_halt(e.max_cycles);
+            let rtl_success = e.workload.goal.succeeded(&soc);
+            assert_eq!(
+                verdict == AnalyticVerdict::Success,
+                rtl_success,
+                "analytic vs RTL mismatch for {bit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_workload_follow_up_is_checked() {
+        let e = Evaluation::new(workloads::illegal_read()).unwrap();
+        let inject_at = e.target_cycle - 10;
+        // Disabling the MPU also allows the leak store: success.
+        assert_eq!(
+            evaluate(&e, &[MpuBit::Enable], inject_at),
+            AnalyticVerdict::Success
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Bit-flip correlation between cone cells and the responding signal
+//! (pre-characterization step 2, Observation 2).
+//!
+//! The golden run of the synthetic benchmark records the per-cycle values
+//! of every MPU register and primary input; a single bit-parallel sweep
+//! derives the value trace of every combinational node, and switching
+//! signatures plus the frame-aligned correlation `Corr_i(g, rs)` follow
+//! with word-wide AND/popcount — the paper's "fast bit-parallel
+//! calculation".
+
+use crate::model::SystemModel;
+use crate::space::SampleSpace;
+use std::collections::HashMap;
+use xlmc_gatesim::bitparallel::{evaluate_combinational, PackedTraces};
+use xlmc_gatesim::signature::{correlation, SwitchingSignature};
+use xlmc_netlist::GateId;
+use xlmc_soc::golden::GoldenRun;
+
+/// Frame-aligned bit-flip correlations for every sample-space cell.
+#[derive(Debug, Clone)]
+pub struct CorrelationData {
+    corr: HashMap<(GateId, i32), f64>,
+    cycles: usize,
+}
+
+impl CorrelationData {
+    /// Compute correlations over the synthetic golden run for every
+    /// `(cell, frame)` pair of the sample space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the golden run is empty.
+    pub fn compute(model: &SystemModel, synthetic: &GoldenRun, space: &SampleSpace) -> Self {
+        let netlist = model.mpu.netlist();
+        let cycles = synthetic.cycles as usize;
+        assert!(cycles > 0, "empty golden run");
+
+        // Record register and input traces, then derive everything else.
+        let mut traces = PackedTraces::zeroed(netlist, cycles);
+        for (c, state) in synthetic.mpu_states.iter().enumerate() {
+            let vec = model.mpu.state_vector(state);
+            for (i, &dff) in netlist.dffs().iter().enumerate() {
+                traces.set_value(dff, c, vec[i]);
+            }
+            let stim = &synthetic.stimulus[c];
+            let inputs = model.mpu.input_values(stim.request, stim.cfg_write);
+            for (i, &pi) in netlist.inputs().iter().enumerate() {
+                traces.set_value(pi, c, inputs[i]);
+            }
+        }
+        evaluate_combinational(netlist, &mut traces)
+            .expect("MPU netlist is acyclic by construction");
+
+        let rs = model.mpu.responding_signal();
+        let rs_ss = SwitchingSignature::from_traces(&traces, rs);
+
+        let mut corr = HashMap::new();
+        let mut cell_ss: HashMap<GateId, SwitchingSignature> = HashMap::new();
+        for frame_info in space.frames() {
+            for &g in &frame_info.cells {
+                let ss = cell_ss
+                    .entry(g)
+                    .or_insert_with(|| SwitchingSignature::from_traces(&traces, g));
+                let c = correlation(ss, &rs_ss, frame_info.frame);
+                corr.insert((g, frame_info.frame), c);
+            }
+        }
+        Self { corr, cycles }
+    }
+
+    /// `Corr_i(g, rs)`, 0 when the pair was not in the sample space.
+    pub fn corr(&self, g: GateId, frame: i32) -> f64 {
+        self.corr.get(&(g, frame)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of simulated cycles the correlations are based on.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlmc_soc::{workloads, MpuBit};
+
+    fn setup() -> (SystemModel, GoldenRun, SampleSpace) {
+        let model = SystemModel::with_defaults().unwrap();
+        let synth = workloads::synthetic_precharacterization();
+        let golden = GoldenRun::record(&synth.program, 20_000, 64);
+        let space = SampleSpace::build(&model, 8, 0.0);
+        (model, golden, space)
+    }
+
+    #[test]
+    fn correlations_are_probabilities() {
+        let (model, golden, space) = setup();
+        let data = CorrelationData::compute(&model, &golden, &space);
+        for f in space.frames() {
+            for &g in &f.cells {
+                let c = data.corr(g, f.frame);
+                assert!((0.0..=1.0).contains(&c), "corr({g}, {}) = {c}", f.frame);
+            }
+        }
+    }
+
+    #[test]
+    fn responding_signal_correlates_perfectly_with_itself() {
+        let (model, golden, space) = setup();
+        let data = CorrelationData::compute(&model, &golden, &space);
+        let rs = model.mpu.responding_signal();
+        // rs is in frame 0 of its own cone; the synthetic run must toggle it.
+        let c = data.corr(rs, 0);
+        assert!((c - 1.0).abs() < 1e-12, "Corr_0(rs, rs) = {c}");
+    }
+
+    #[test]
+    fn some_cone_cells_correlate_more_than_others() {
+        let (model, golden, space) = setup();
+        let data = CorrelationData::compute(&model, &golden, &space);
+        let f0 = space.frame_for(1).unwrap();
+        let corrs: Vec<f64> = f0.cells.iter().map(|&g| data.corr(g, 0)).collect();
+        let max = corrs.iter().cloned().fold(0.0, f64::max);
+        let min = corrs.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 0.2, "max corr {max} too low — stimulus too quiet");
+        assert!(max - min > 0.1, "correlations should discriminate cells");
+    }
+
+    #[test]
+    fn unknown_pairs_report_zero() {
+        let (model, golden, space) = setup();
+        let data = CorrelationData::compute(&model, &golden, &space);
+        let sticky = model.mpu.dff(MpuBit::StickyViol);
+        assert_eq!(data.corr(sticky, 0), 0.0);
+        assert_eq!(data.cycles() as u64, golden.cycles);
+    }
+}

@@ -1,0 +1,302 @@
+//! Error lifetime and contamination characterization
+//! (pre-characterization step 3, Observation 3).
+//!
+//! For every register in the responding-signal cones, single bit errors are
+//! injected at several points of the synthetic golden run; the faulty RTL
+//! simulation is compared against the recorded golden states cycle by
+//! cycle. The **error lifetime** is the number of cycles until the MPU
+//! state re-converges (capped); the **error contamination number** is how
+//! many *other* registers the error ever spreads to. Long-lived,
+//! non-contaminating registers are **memory-type** (evaluated analytically
+//! by the flow); the rest are **computation-type** (sampled).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xlmc_soc::golden::GoldenRun;
+use xlmc_soc::{MpuBit, Soc};
+
+/// Censoring cap for the lifetime measurement, in cycles.
+pub const LIFETIME_CAP: u32 = 200;
+/// Lifetime at or above which a register counts as long-lived.
+pub const MEMORY_LIFETIME_MIN: u32 = 100;
+/// Maximum contamination for the memory-type classification.
+pub const MEMORY_CONTAMINATION_MAX: u32 = 0;
+
+/// The paper's register classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegisterKind {
+    /// Errors persist locally: long lifetime, no contamination. Evaluated
+    /// analytically.
+    Memory,
+    /// Errors propagate or get masked quickly. Evaluated by sampling.
+    Computation,
+}
+
+/// Measured characterization of one register bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitCharacter {
+    /// Error lifetime: the *maximum* over the injection samples (capped at
+    /// [`LIFETIME_CAP`]). The maximum measures persistence potential — an
+    /// error that survives long whenever nothing overwrites it must be
+    /// treated as long-lived by the sampler, even if some injections
+    /// happened shortly before a reconfiguration.
+    pub lifetime: u32,
+    /// Median error contamination number.
+    pub contamination: u32,
+    /// Raw `(lifetime, contamination)` per injection.
+    pub samples: Vec<(u32, u32)>,
+    /// Fraction of injections whose error propagated to the responding
+    /// signal register — the injection-measured bit-flip correlation of
+    /// Observation 2, which captures *persistent* registers that the
+    /// switching-signature correlation cannot see (they rarely toggle).
+    pub rs_flip_fraction: f64,
+    /// Fraction of injections whose error *suppressed* responding-signal
+    /// activity (the faulty run raised strictly fewer violations over the
+    /// observation window than the golden run). Per the paper's attack
+    /// analysis, suppression is exactly what the attacker needs: "prevent
+    /// the security-critical modules from setting the responding signals".
+    pub rs_suppress_fraction: f64,
+    /// The derived classification.
+    pub kind: RegisterKind,
+}
+
+/// Characterization of every MPU register bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegisterCharacterization {
+    per_bit: HashMap<MpuBit, BitCharacter>,
+}
+
+fn median(values: &mut [u32]) -> u32 {
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+/// Measure lifetime, contamination and responding-signal propagation of
+/// one bit flipped at the start of `cycle` of the golden run.
+fn measure_one(golden: &GoldenRun, bit: MpuBit, cycle: u64) -> (u32, u32, bool, bool) {
+    let mut soc: Soc = golden.nearest_checkpoint(cycle).clone();
+    while soc.cycle < cycle {
+        soc.step();
+    }
+    soc.mpu.toggle_bit(bit);
+    let mut contaminated: std::collections::HashSet<MpuBit> = std::collections::HashSet::new();
+    let mut reached_rs = false;
+    let mut golden_viols = 0u32;
+    let mut faulty_viols = 0u32;
+    let mut lifetime = LIFETIME_CAP;
+    let mut converged = false;
+    let all_bits = MpuBit::all();
+    for k in 1..=LIFETIME_CAP {
+        let golden_idx = cycle + u64::from(k);
+        if golden_idx >= golden.cycles {
+            // Golden run ended; the error outlived the benchmark.
+            break;
+        }
+        soc.step();
+        let golden_state = &golden.mpu_states[golden_idx as usize];
+        // Violation activity is counted over the whole window (alignment-
+        // insensitive): fewer faulty violations = suppression.
+        if golden_state.bit(MpuBit::Violation) {
+            golden_viols += 1;
+        }
+        if soc.mpu.bit(MpuBit::Violation) {
+            faulty_viols += 1;
+        }
+        if !converged {
+            let mut any_diff = false;
+            for &b in &all_bits {
+                if soc.mpu.bit(b) != golden_state.bit(b) {
+                    any_diff = true;
+                    if b != bit {
+                        contaminated.insert(b);
+                    }
+                    if b == MpuBit::Violation {
+                        reached_rs = true;
+                    }
+                }
+            }
+            if !any_diff {
+                lifetime = k;
+                converged = true;
+            }
+        }
+    }
+    let suppressed_rs = faulty_viols < golden_viols;
+    (
+        lifetime,
+        contaminated.len() as u32,
+        reached_rs,
+        suppressed_rs,
+    )
+}
+
+impl RegisterCharacterization {
+    /// Characterize every MPU register bit by injection at `sample_cycles`
+    /// of the synthetic golden run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sample_cycles` is empty or reaches past the run.
+    pub fn measure(golden: &GoldenRun, sample_cycles: &[u64]) -> Self {
+        assert!(!sample_cycles.is_empty(), "need at least one sample cycle");
+        assert!(
+            sample_cycles.iter().all(|&c| c < golden.cycles),
+            "sample cycle beyond the golden run"
+        );
+        let mut per_bit = HashMap::new();
+        for bit in MpuBit::all() {
+            let raw: Vec<(u32, u32, bool, bool)> = sample_cycles
+                .iter()
+                .map(|&c| measure_one(golden, bit, c))
+                .collect();
+            let samples: Vec<(u32, u32)> = raw.iter().map(|&(l, c, _, _)| (l, c)).collect();
+            let rs_flip_fraction =
+                raw.iter().filter(|&&(_, _, r, _)| r).count() as f64 / raw.len() as f64;
+            let rs_suppress_fraction =
+                raw.iter().filter(|&&(_, _, _, su)| su).count() as f64 / raw.len() as f64;
+            let lifetime = samples.iter().map(|s| s.0).max().unwrap_or(0);
+            let mut contams: Vec<u32> = samples.iter().map(|s| s.1).collect();
+            let contamination = median(&mut contams);
+            let kind = if lifetime >= MEMORY_LIFETIME_MIN
+                && contamination == MEMORY_CONTAMINATION_MAX
+            {
+                RegisterKind::Memory
+            } else {
+                RegisterKind::Computation
+            };
+            per_bit.insert(
+                bit,
+                BitCharacter {
+                    lifetime,
+                    contamination,
+                    samples,
+                    rs_flip_fraction,
+                    rs_suppress_fraction,
+                    kind,
+                },
+            );
+        }
+        Self { per_bit }
+    }
+
+    /// The characterization of one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for bits outside [`MpuBit::all`] (cannot happen).
+    pub fn bit(&self, bit: MpuBit) -> &BitCharacter {
+        &self.per_bit[&bit]
+    }
+
+    /// The classification of one bit.
+    pub fn kind(&self, bit: MpuBit) -> RegisterKind {
+        self.per_bit[&bit].kind
+    }
+
+    /// Iterate `(bit, character)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MpuBit, &BitCharacter)> {
+        self.per_bit.iter()
+    }
+
+    /// Fraction of registers classified memory-type.
+    pub fn memory_fraction(&self) -> f64 {
+        let mem = self
+            .per_bit
+            .values()
+            .filter(|c| c.kind == RegisterKind::Memory)
+            .count();
+        mem as f64 / self.per_bit.len() as f64
+    }
+}
+
+/// Evenly spaced sample cycles across the middle of a golden run.
+pub fn default_sample_cycles(golden: &GoldenRun, count: usize) -> Vec<u64> {
+    let lo = golden.cycles / 5;
+    let hi = golden.cycles * 4 / 5;
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as u64 / count.max(1) as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlmc_soc::workloads;
+
+    fn golden() -> GoldenRun {
+        let w = workloads::synthetic_precharacterization();
+        GoldenRun::record(&w.program, 20_000, 64)
+    }
+
+    #[test]
+    fn pipe_registers_are_computation_type() {
+        let g = golden();
+        let chars = RegisterCharacterization::measure(&g, &default_sample_cycles(&g, 4));
+        // Pipeline registers are overwritten every cycle: tiny lifetime.
+        for bit in [MpuBit::PipeAddr(3), MpuBit::PipeValid, MpuBit::PipeUser] {
+            let c = chars.bit(bit);
+            assert!(c.lifetime <= 5, "{bit:?} lifetime {}", c.lifetime);
+            assert_eq!(chars.kind(bit), RegisterKind::Computation, "{bit:?}");
+        }
+    }
+
+    #[test]
+    fn unused_config_registers_are_memory_type() {
+        let g = golden();
+        let chars = RegisterCharacterization::measure(&g, &default_sample_cycles(&g, 4));
+        // Region 2 is never configured or matched: flips persist silently.
+        for bit in [MpuBit::Base(2, 7), MpuBit::Limit(2, 3), MpuBit::Perms(2, 0)] {
+            let c = chars.bit(bit);
+            assert_eq!(c.lifetime, LIFETIME_CAP, "{bit:?}");
+            assert_eq!(c.contamination, 0, "{bit:?}");
+            assert_eq!(chars.kind(bit), RegisterKind::Memory, "{bit:?}");
+        }
+    }
+
+    #[test]
+    fn a_majority_of_registers_are_memory_type() {
+        // The paper's Figure 4: "more than half of the total registers have
+        // long lifetime and 0 contamination number".
+        let g = golden();
+        let chars = RegisterCharacterization::measure(&g, &default_sample_cycles(&g, 4));
+        let frac = chars.memory_fraction();
+        assert!(frac > 0.5, "memory-type fraction {frac}");
+    }
+
+    #[test]
+    fn contaminating_config_bits_are_detected() {
+        let g = golden();
+        let chars = RegisterCharacterization::measure(&g, &default_sample_cycles(&g, 4));
+        // Flipping limit bit 14 of region 0 (0x5fff -> 0x1fff) makes the
+        // synthetic sweep's legal accesses violate, which shows up in the
+        // violation/sticky registers: contamination > 0 on some sample.
+        let c = chars.bit(MpuBit::Limit(0, 14));
+        assert!(
+            c.samples.iter().any(|&(_, contam)| contam > 0),
+            "exercised limit bit should contaminate: {:?}",
+            c.samples
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_capped() {
+        let g = golden();
+        let chars = RegisterCharacterization::measure(&g, &[g.cycles / 2]);
+        for (bit, c) in chars.iter() {
+            assert!(c.lifetime <= LIFETIME_CAP, "{bit:?}");
+            for &(l, _) in &c.samples {
+                assert!(l >= 1, "{bit:?} lifetime 0 impossible");
+            }
+        }
+    }
+
+    #[test]
+    fn default_sample_cycles_are_in_range() {
+        let g = golden();
+        let cycles = default_sample_cycles(&g, 6);
+        assert_eq!(cycles.len(), 6);
+        for &c in &cycles {
+            assert!(c > 0 && c < g.cycles);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The evaluation context: system model + workload + golden run.
+
+use std::fmt;
+use xlmc_gatesim::cycle::CycleSim;
+use xlmc_gatesim::glitch::GlitchSim;
+use xlmc_gatesim::transient::{TransientConfig, TransientSim};
+use xlmc_netlist::{NetlistError, Placement};
+use xlmc_soc::golden::GoldenRun;
+use xlmc_soc::{MpuNetlist, Workload};
+
+/// Errors raised while building an evaluation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The gate netlist failed analysis (cannot happen for the stock MPU).
+    Netlist(NetlistError),
+    /// The golden run of the attack workload never triggered the security
+    /// mechanism, so there is no target cycle to attack.
+    NoViolationInGoldenRun,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Netlist(e) => write!(f, "netlist analysis failed: {e}"),
+            EvalError::NoViolationInGoldenRun => {
+                write!(f, "golden run triggered no violation; no target cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<NetlistError> for EvalError {
+    fn from(e: NetlistError) -> Self {
+        EvalError::Netlist(e)
+    }
+}
+
+/// The gate-level system model: elaborated MPU, placement, and the cached
+/// simulators. Shared by every evaluation of the same design.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    /// The elaborated MPU with its cross-level register map.
+    pub mpu: MpuNetlist,
+    /// The placed netlist (for the radiated-spot model).
+    pub placement: Placement,
+    /// Levelized logic simulator for the MPU netlist.
+    pub cycle_sim: CycleSim,
+    /// Transient (SET) simulator for the fault-injection cycle.
+    pub transient: TransientSim,
+    /// Clock-glitch (timing-violation) simulator.
+    pub glitch: GlitchSim,
+}
+
+impl SystemModel {
+    /// Build the model with the given transient parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist analysis failures (none for the stock MPU).
+    pub fn new(transient_cfg: TransientConfig) -> Result<Self, EvalError> {
+        let mpu = MpuNetlist::new();
+        let placement = Placement::new(mpu.netlist());
+        let cycle_sim = CycleSim::new(mpu.netlist())?;
+        let transient = TransientSim::new(mpu.netlist(), transient_cfg)?;
+        let glitch = GlitchSim::new(mpu.netlist(), transient_cfg.clock_period_ps)?;
+        Ok(Self {
+            mpu,
+            placement,
+            cycle_sim,
+            transient,
+            glitch,
+        })
+    }
+
+    /// The model with default transient parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`SystemModel::new`].
+    pub fn with_defaults() -> Result<Self, EvalError> {
+        Self::new(TransientConfig::default())
+    }
+}
+
+/// One attack-evaluation setup: a workload, its recorded golden run and the
+/// derived target cycle `T_t`.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The benchmark under attack.
+    pub workload: Workload,
+    /// The recorded golden run.
+    pub golden: GoldenRun,
+    /// The target cycle `T_t`: the cycle in which the malicious operation
+    /// *resolves* (the golden run's violation verdict is consumed there —
+    /// commit gating and trap both read the registered responding signal).
+    pub target_cycle: u64,
+    /// Cap for fault runs (golden length plus slack for diverging runs).
+    pub max_cycles: u64,
+}
+
+/// Default checkpoint interval for golden runs.
+pub const CHECKPOINT_INTERVAL: u64 = 32;
+
+impl Evaluation {
+    /// Record the golden run of `workload` and locate the target cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::NoViolationInGoldenRun`] when the workload
+    /// never trips the security mechanism (nothing to attack).
+    pub fn new(workload: Workload) -> Result<Self, EvalError> {
+        let golden = GoldenRun::record(&workload.program, 20_000, CHECKPOINT_INTERVAL);
+        // The combinational violation fires one cycle before the access
+        // resolves; the resolution cycle is where the verdict acts.
+        let target_cycle = golden
+            .first_violation_cycle()
+            .ok_or(EvalError::NoViolationInGoldenRun)?
+            + 1;
+        let max_cycles = golden.cycles + 500;
+        Ok(Self {
+            workload,
+            golden,
+            target_cycle,
+            max_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlmc_soc::workloads;
+
+    #[test]
+    fn model_builds_with_defaults() {
+        let m = SystemModel::with_defaults().unwrap();
+        assert!(m.mpu.netlist().stats().combinational > 100);
+        assert!(!m.placement.placeable().is_empty());
+    }
+
+    #[test]
+    fn evaluation_finds_target_cycle_for_both_attacks() {
+        for w in [workloads::illegal_write(), workloads::illegal_read()] {
+            let name = w.name;
+            let e = Evaluation::new(w).unwrap();
+            assert!(e.target_cycle > 100, "{name}: T_t = {}", e.target_cycle);
+            assert!(e.target_cycle < e.golden.cycles);
+            assert!(e.max_cycles > e.golden.cycles);
+        }
+    }
+
+    #[test]
+    fn evaluation_rejects_violation_free_workloads() {
+        use xlmc_soc::asm::assemble;
+        use xlmc_soc::AttackGoal;
+        let w = Workload {
+            name: "benign",
+            description: "no violation",
+            program: assemble("li r1, 1\nhalt").unwrap().words,
+            goal: AttackGoal::IllegalWrite,
+        };
+        assert!(matches!(
+            Evaluation::new(w),
+            Err(EvalError::NoViolationInGoldenRun)
+        ));
+    }
+}

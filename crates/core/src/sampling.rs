@@ -1,0 +1,665 @@
+//! Sampling strategies: random, fanin-cone, and the paper's importance
+//! sampling distribution `g_{T,P} = g_T · g_{P|T}` (§4).
+//!
+//! Every strategy draws attack samples and reports the importance weight
+//! `f(s) / g(s)` against the attacker distribution `f_{T,P}`, so the
+//! estimator `ŜSF = (1/N) Σ w_i · e_i` stays unbiased. The importance
+//! distribution follows the paper exactly:
+//!
+//! ```text
+//! g_T(t = i)        ∝ ω_i = Σ_{g ∈ Ω_i} (1 + α · Corr_i(g, rs) · δ(L(g) ≥ β·i))
+//! g_{P|T}(g, r | i) ∝ (1 + α · Corr_i(g, rs) · δ(L(g) ≥ β·i)) · Unif(r)
+//! ```
+//!
+//! with `Ω_i` the sample-space cells of timing distance `t` (unrolled frame
+//! `i = t − 1`), `Corr_i` the bit-flip correlation and `L(g)` the error
+//! lifetime from the pre-characterization.
+
+use crate::model::SystemModel;
+use crate::precharacterize::Precharacterization;
+use rand::Rng;
+use xlmc_fault::sample::PHASE_BINS;
+use xlmc_fault::{AttackDistribution, AttackSample, RadiusDist, SpatialDist, TemporalDist};
+use xlmc_netlist::GateId;
+
+/// Parameters of the evaluation experiments (paper §6 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Timing-distance range: `t ∈ [1, t_max]` ("the range of t is 50
+    /// cycles").
+    pub t_max: i64,
+    /// Discrete radius options of the radiated spot.
+    pub radius_options: Vec<f64>,
+    /// Correlation amplification `α` of the sampling distribution.
+    pub alpha: f64,
+    /// Lifetime threshold slope `β` of the sampling distribution.
+    pub beta: f64,
+    /// Fraction of the MPU cells in the attacker's target sub-block ("a
+    /// sub-block of gates of around 1/8 of MPU").
+    pub subblock_fraction: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            t_max: 50,
+            radius_options: vec![0.0, 1.0],
+            alpha: 40.0,
+            beta: 1.0,
+            subblock_fraction: 0.125,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The largest radius option (drives the sample-space halo).
+    pub fn max_radius(&self) -> f64 {
+        self.radius_options.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// The attacker's target sub-block: the `fraction` of placed cells closest
+/// to the centroid of the security-critical block (the fanin cone of the
+/// responding signal) — the paper's "sub-block of gates of around 1/8 of
+/// MPU identified following \[18\]". Centering on the cone centroid reflects
+/// the attack model: the attacker knows the physical implementation and
+/// aims at the protection logic, which spans the configuration bank, the
+/// comparators and the responding-signal register.
+pub fn subblock_cells(model: &SystemModel, fraction: f64) -> Vec<GateId> {
+    let rs = model.mpu.responding_signal();
+    let cone = xlmc_netlist::cones::cone_set(model.mpu.netlist(), rs, 0, 1);
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    let mut count = 0usize;
+    for (_, frame) in cone.iter() {
+        for &g in frame.iter() {
+            if let Some(p) = model.placement.position(g) {
+                cx += p.x;
+                cy += p.y;
+                count += 1;
+            }
+        }
+    }
+    assert!(count > 0, "responding-signal cone has no placed cells");
+    let center = xlmc_netlist::Point {
+        x: cx / count as f64,
+        y: cy / count as f64,
+    };
+    let mut cells: Vec<(f64, GateId)> = model
+        .placement
+        .placeable()
+        .iter()
+        .map(|&g| {
+            let p = model.placement.position(g).expect("placeable cell");
+            (p.distance(center), g)
+        })
+        .collect();
+    cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let take = ((cells.len() as f64 * fraction).ceil() as usize).clamp(1, cells.len());
+    let mut out: Vec<GateId> = cells.into_iter().take(take).map(|(_, g)| g).collect();
+    out.sort_unstable();
+    out
+}
+
+/// The attacker distribution `f_{T,P}` of the experiments: uniform timing
+/// distance, uniform center over the sub-block, uniform radius.
+pub fn baseline_distribution(model: &SystemModel, cfg: &ExperimentConfig) -> AttackDistribution {
+    AttackDistribution {
+        temporal: TemporalDist::uniform(1, cfg.t_max),
+        spatial: SpatialDist::UniformOverCells(subblock_cells(model, cfg.subblock_fraction)),
+        radius: RadiusDist::uniform(cfg.radius_options.clone()),
+    }
+}
+
+/// The sorted spatial support of the attacker distribution: the strategies
+/// restrict their proposals to it. Proposing cells the attacker cannot
+/// target wastes samples (`f = 0` forces `w = 0`) and starves the overlap
+/// region, which is exactly the importance-sampling failure mode.
+fn spatial_support(f: &AttackDistribution) -> Vec<GateId> {
+    let mut cells = match &f.spatial {
+        SpatialDist::UniformOverCells(cells) => cells.clone(),
+        SpatialDist::Delta(g) => vec![*g],
+    };
+    cells.sort_unstable();
+    cells
+}
+
+/// A sampling strategy: draws attack samples and reports importance
+/// weights against the attacker distribution.
+pub trait SamplingStrategy {
+    /// Human-readable strategy name for reports.
+    fn name(&self) -> &'static str;
+    /// Draw one sample from the strategy's distribution `g`.
+    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample;
+    /// The importance weight `f(s) / g(s)` of a drawn sample.
+    fn weight(&self, sample: &AttackSample) -> f64;
+}
+
+/// Plain Monte Carlo: sample the attacker distribution itself.
+#[derive(Debug, Clone)]
+pub struct RandomSampling {
+    f: AttackDistribution,
+}
+
+impl RandomSampling {
+    /// Sample straight from `f_{T,P}`.
+    pub fn new(f: AttackDistribution) -> Self {
+        Self { f }
+    }
+}
+
+impl SamplingStrategy for RandomSampling {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample {
+        // Re-borrow as a sized `&mut dyn RngCore` so the generic sampler
+        // can take it by `impl Rng`.
+        let mut rng = rng;
+        self.f.sample(&mut rng)
+    }
+
+    fn weight(&self, _sample: &AttackSample) -> f64 {
+        1.0
+    }
+}
+
+/// One timing distance of a cone-restricted strategy.
+#[derive(Debug, Clone)]
+struct Frame {
+    t: i64,
+    /// Sorted candidate cells.
+    cells: Vec<GateId>,
+    /// Per-cell weights aligned with `cells` (uniform strategies use 1.0).
+    weights: Vec<f64>,
+    /// Cumulative weights for sampling.
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl Frame {
+    fn uniform(t: i64, mut cells: Vec<GateId>) -> Self {
+        cells.sort_unstable();
+        let weights = vec![1.0; cells.len()];
+        Self::from_weights(t, cells, weights)
+    }
+
+    fn from_weights(cells_t: i64, cells: Vec<GateId>, weights: Vec<f64>) -> Self {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        Self {
+            t: cells_t,
+            cells,
+            weights,
+            cum,
+            total: acc,
+        }
+    }
+
+    fn cell_weight(&self, g: GateId) -> Option<f64> {
+        self.cells
+            .binary_search(&g)
+            .ok()
+            .map(|i| self.weights[i])
+    }
+
+    fn draw_cell(&self, rng: &mut dyn rand::RngCore) -> GateId {
+        let x = rng.gen_range(0.0..self.total);
+        let idx = self.cum.partition_point(|&c| c <= x).min(self.cells.len() - 1);
+        self.cells[idx]
+    }
+}
+
+/// Shared machinery of the cone-restricted strategies.
+#[derive(Debug, Clone)]
+struct FramedStrategy {
+    f: AttackDistribution,
+    frames: Vec<Frame>,
+    frame_cum: Vec<f64>,
+    grand_total: f64,
+    radius: RadiusDist,
+}
+
+impl FramedStrategy {
+    fn new(f: AttackDistribution, frames: Vec<Frame>, radius: RadiusDist) -> Self {
+        let mut frame_cum = Vec::with_capacity(frames.len());
+        let mut acc = 0.0;
+        for fr in &frames {
+            acc += fr.total;
+            frame_cum.push(acc);
+        }
+        assert!(
+            acc > 0.0,
+            "strategy support is empty: the cones do not intersect the attacker's sub-block"
+        );
+        Self {
+            f,
+            frames,
+            frame_cum,
+            grand_total: acc,
+            radius,
+        }
+    }
+
+    /// `g(s)` of the strategy.
+    fn pmf(&self, s: &AttackSample) -> f64 {
+        let Some(frame) = self.frames.iter().find(|fr| fr.t == s.t) else {
+            return 0.0;
+        };
+        let Some(w) = frame.cell_weight(s.center) else {
+            return 0.0;
+        };
+        if s.phase >= PHASE_BINS {
+            return 0.0;
+        }
+        w / self.grand_total * self.radius.pmf(s.radius) / f64::from(PHASE_BINS)
+    }
+
+    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample {
+        let x = rng.gen_range(0.0..self.grand_total);
+        let idx = self
+            .frame_cum
+            .partition_point(|&c| c <= x)
+            .min(self.frames.len() - 1);
+        let frame = &self.frames[idx];
+        let mut rng = rng;
+        AttackSample {
+            t: frame.t,
+            center: frame.draw_cell(rng),
+            radius: self.radius.sample(&mut rng),
+            phase: rng.gen_range(0..PHASE_BINS),
+        }
+    }
+
+    fn weight(&self, s: &AttackSample) -> f64 {
+        let g = self.pmf(s);
+        if g <= 0.0 {
+            // Drawn samples always have positive mass; this only happens
+            // when evaluating foreign samples.
+            return 0.0;
+        }
+        self.f.pmf(s) / g
+    }
+
+    /// The marginal `g_T` over timing distances (paper Figure 8(a)).
+    fn t_marginal(&self) -> Vec<(i64, f64)> {
+        self.frames
+            .iter()
+            .map(|fr| (fr.t, fr.total / self.grand_total))
+            .collect()
+    }
+}
+
+/// Importance sampling restricted to the responding-signal cones, with
+/// uniform weights (the paper's middle baseline, "fanin cone sampling").
+#[derive(Debug, Clone)]
+pub struct ConeSampling {
+    inner: FramedStrategy,
+}
+
+impl ConeSampling {
+    /// Uniform sampling over the sample-space cells of each timing
+    /// distance.
+    pub fn new(
+        f: AttackDistribution,
+        prechar: &Precharacterization,
+        radius_options: Vec<f64>,
+    ) -> Self {
+        let support = spatial_support(&f);
+        let frames = prechar
+            .space
+            .frames()
+            .iter()
+            .map(|fr| {
+                let cells: Vec<GateId> = fr
+                    .cells
+                    .iter()
+                    .copied()
+                    .filter(|g| support.binary_search(g).is_ok())
+                    .collect();
+                Frame::uniform(fr.t, cells)
+            })
+            .filter(|fr| !fr.cells.is_empty())
+            .collect();
+        Self {
+            inner: FramedStrategy::new(f, frames, RadiusDist::uniform(radius_options)),
+        }
+    }
+
+    /// The marginal over timing distances.
+    pub fn t_marginal(&self) -> Vec<(i64, f64)> {
+        self.inner.t_marginal()
+    }
+}
+
+impl SamplingStrategy for ConeSampling {
+    fn name(&self) -> &'static str {
+        "fanin_cone"
+    }
+
+    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample {
+        self.inner.draw(rng)
+    }
+
+    fn weight(&self, sample: &AttackSample) -> f64 {
+        self.inner.weight(sample)
+    }
+}
+
+/// The paper's full importance-sampling strategy.
+#[derive(Debug, Clone)]
+pub struct ImportanceSampling {
+    inner: FramedStrategy,
+}
+
+impl ImportanceSampling {
+    /// Build `g_{T,P}` from the pre-characterization with parameters `α`
+    /// and `β`.
+    pub fn new(
+        f: AttackDistribution,
+        model: &SystemModel,
+        prechar: &Precharacterization,
+        alpha: f64,
+        beta: f64,
+        radius_options: Vec<f64>,
+    ) -> Self {
+        let support = spatial_support(&f);
+        let smoothing_radius = radius_options.iter().cloned().fold(0.0, f64::max);
+        let frames = prechar
+            .space
+            .frames()
+            .iter()
+            .map(|fr| {
+                // Raw per-cell weight over the whole frame (not just the
+                // support): 1 + α · Corr_i(g, rs) · δ(L(g) ≥ β·i), with the
+                // correlation of registers taken as the larger of the
+                // signature-measured and injection-measured values
+                // (persistent state rarely toggles, so signatures alone
+                // under-weight it).
+                let raw_weight = |g: GateId| {
+                    let mut corr = prechar.correlation.corr(g, fr.frame);
+                    // The injection-measured suppression correlation is a
+                    // persistence signal: an error latched into a register
+                    // acts from the *next* cycle on, so it only applies to
+                    // frames i >= 1 (t >= 2). At frame 0 the verdict has
+                    // already latched and only the signature correlation of
+                    // the combinational path matters.
+                    if fr.frame >= 1 {
+                        corr = corr.max(prechar.cell_suppress(g));
+                    }
+                    let lifetime_ok =
+                        f64::from(prechar.cell_lifetime(g)) >= beta * fr.frame as f64;
+                    1.0 + alpha * corr * f64::from(u8::from(lifetime_ok))
+                };
+                let frame_cells: Vec<GateId> = fr.cells.clone();
+                let in_frame: std::collections::HashSet<GateId> =
+                    frame_cells.iter().copied().collect();
+                let mut cells: Vec<GateId> = frame_cells
+                    .iter()
+                    .copied()
+                    .filter(|g| support.binary_search(g).is_ok())
+                    .collect();
+                cells.sort_unstable();
+                // Spatial smoothing: a strike at center c impacts every
+                // cell within the sampled spot radius, so the importance of
+                // c is the radius-distribution average of the best raw
+                // importance its spot can cover. Unlike a plain max this
+                // keeps a gradient toward the high-importance cells instead
+                // of flattening the whole neighborhood.
+                let weights: Vec<f64> = cells
+                    .iter()
+                    .map(|&c| {
+                        if smoothing_radius <= 0.0 {
+                            return raw_weight(c);
+                        }
+                        let mut acc = 0.0;
+                        for &r in &radius_options {
+                            let mut best = raw_weight(c);
+                            if r > 0.0 {
+                                for g in model.placement.cells_within(c, r) {
+                                    if in_frame.contains(&g) {
+                                        best = best.max(raw_weight(g));
+                                    }
+                                }
+                            }
+                            acc += best;
+                        }
+                        acc / radius_options.len() as f64
+                    })
+                    .collect();
+                Frame::from_weights(fr.t, cells, weights)
+            })
+            .filter(|fr| !fr.cells.is_empty())
+            .collect();
+        Self {
+            inner: FramedStrategy::new(f, frames, RadiusDist::uniform(radius_options)),
+        }
+    }
+
+    /// The marginal `g_T` over timing distances (paper Figure 8(a)).
+    pub fn t_marginal(&self) -> Vec<(i64, f64)> {
+        self.inner.t_marginal()
+    }
+
+    /// The probability mass of a sample under `g_{T,P}`.
+    pub fn pmf(&self, s: &AttackSample) -> f64 {
+        self.inner.pmf(s)
+    }
+}
+
+impl SamplingStrategy for ImportanceSampling {
+    fn name(&self) -> &'static str {
+        "importance"
+    }
+
+    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample {
+        self.inner.draw(rng)
+    }
+
+    fn weight(&self, sample: &AttackSample) -> f64 {
+        self.inner.weight(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SystemModel, Precharacterization, ExperimentConfig) {
+        let model = SystemModel::with_defaults().unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 6,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        (model, prechar, cfg)
+    }
+
+    #[test]
+    fn subblock_has_requested_size_and_contains_rs() {
+        let model = SystemModel::with_defaults().unwrap();
+        let cells = subblock_cells(&model, 0.125);
+        let expect = (model.placement.placeable().len() as f64 * 0.125).ceil() as usize;
+        assert_eq!(cells.len(), expect);
+        // The sub-block must cover security-critical state: at least some
+        // configuration registers or the responding-signal cone.
+        let in_cone = xlmc_netlist::cones::fanin_cone(
+            model.mpu.netlist(),
+            model.mpu.responding_signal(),
+            0,
+        );
+        let overlap = cells
+            .iter()
+            .filter(|&&g| in_cone.frame(0).contains(g))
+            .count();
+        assert!(overlap > cells.len() / 4, "cone overlap {overlap}");
+    }
+
+    #[test]
+    fn random_sampling_has_unit_weight() {
+        let (model, _, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let strat = RandomSampling::new(f);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = strat.draw(&mut rng);
+            assert_eq!(strat.weight(&s), 1.0);
+            assert!((1..=cfg.t_max).contains(&s.t));
+        }
+    }
+
+    #[test]
+    fn importance_pmf_sums_to_one() {
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let is = ImportanceSampling::new(
+            f,
+            &model,
+            &prechar,
+            cfg.alpha,
+            cfg.beta,
+            cfg.radius_options.clone(),
+        );
+        let mut total = 0.0;
+        for fr in prechar.space.frames() {
+            for &g in &fr.cells {
+                for &r in &cfg.radius_options {
+                    for phase in 0..PHASE_BINS {
+                        total += is.pmf(&AttackSample {
+                            t: fr.t,
+                            center: g,
+                            radius: r,
+                            phase,
+                        });
+                    }
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+    }
+
+    #[test]
+    fn importance_marginal_prefers_small_t() {
+        // Frame 0 (t = 1) holds the whole comparator cone; deep frames only
+        // the config loop: ω_1 must dominate (paper Figure 8(a) shape).
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let is = ImportanceSampling::new(
+            f,
+            &model,
+            &prechar,
+            cfg.alpha,
+            cfg.beta,
+            cfg.radius_options.clone(),
+        );
+        let marg = is.t_marginal();
+        let p1 = marg.iter().find(|&&(t, _)| t == 1).unwrap().1;
+        let pmax = marg.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+        assert!((p1 - pmax).abs() < 1e-12, "g_T(1) = {p1} is not the mode");
+        let plast = marg.last().unwrap().1;
+        assert!(p1 > plast, "g_T(1) = {p1} vs tail {plast}");
+        let total: f64 = marg.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drawn_samples_have_positive_weight_and_mass() {
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        for strat in [
+            Box::new(ConeSampling::new(
+                f.clone(),
+                &prechar,
+                cfg.radius_options.clone(),
+            )) as Box<dyn SamplingStrategy>,
+            Box::new(ImportanceSampling::new(
+                f.clone(),
+                &model,
+                &prechar,
+                cfg.alpha,
+                cfg.beta,
+                cfg.radius_options.clone(),
+            )),
+        ] {
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..200 {
+                let s = strat.draw(&mut rng);
+                let w = strat.weight(&s);
+                assert!(w >= 0.0, "{}: negative weight", strat.name());
+                assert!(w.is_finite(), "{}: infinite weight", strat.name());
+            }
+        }
+    }
+
+    #[test]
+    fn importance_weights_are_unbiased_on_indicator_functions() {
+        // E_g[w · 1{A}] must equal f(A) for any event A; check the event
+        // "t == 2" by Monte Carlo.
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let is = ImportanceSampling::new(
+            f.clone(),
+            &model,
+            &prechar,
+            cfg.alpha,
+            cfg.beta,
+            cfg.radius_options.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 60_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let s = is.draw(&mut rng);
+            if s.t == 2 {
+                acc += is.weight(&s);
+            }
+        }
+        let estimate = acc / n as f64;
+        // Under f, P(t = 2, center in Ω(2) support) = (1/t_max) · |Ω(2) ∩
+        // subblock| / |subblock|.
+        let subblock = subblock_cells(&model, cfg.subblock_fraction);
+        let frame2 = prechar.space.frame_for(2).unwrap();
+        let overlap = frame2
+            .cells
+            .iter()
+            .filter(|g| subblock.contains(g))
+            .count();
+        let truth = (1.0 / cfg.t_max as f64) * overlap as f64 / subblock.len() as f64;
+        assert!(
+            (estimate - truth).abs() < 0.2 * truth.max(1e-3),
+            "estimate {estimate} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn cone_sampling_is_uniform_within_a_frame() {
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let support = subblock_cells(&model, cfg.subblock_fraction);
+        let cone = ConeSampling::new(f, &prechar, cfg.radius_options.clone());
+        let marg = cone.t_marginal();
+        // Uniform cell weights: marginal proportional to the sizes of the
+        // support-restricted frames.
+        let size = |t: i64| {
+            prechar
+                .space
+                .frame_for(t)
+                .unwrap()
+                .cells
+                .iter()
+                .filter(|g| support.contains(g))
+                .count() as f64
+        };
+        let (t_a, t_b) = (marg[0].0, marg[1].0);
+        let pa = marg[0].1;
+        let pb = marg[1].1;
+        assert!((pa / pb - size(t_a) / size(t_b)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Running statistics and histogram helpers for the Monte Carlo estimators.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// The Chebyshev/LLN bound of §3.3 on `Pr[|estimate − SSF| ≥ eps]`:
+    /// `variance / (n · eps²)`, clamped to 1.
+    pub fn lln_bound(&self, eps: f64) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        (self.variance() / (self.n as f64 * eps * eps)).min(1.0)
+    }
+}
+
+/// An equal-width histogram over `[0, max]` with an overflow-free layout:
+/// values above `max` land in the last bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Upper edge of the covered range.
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Build a histogram of `values` with `bins` equal-width bins over
+    /// `[0, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `max <= 0`.
+    pub fn build(values: impl IntoIterator<Item = f64>, bins: usize, max: f64) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(max > 0.0, "max must be positive");
+        let mut counts = vec![0u64; bins];
+        for v in values {
+            let idx = ((v / max * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Self { counts, max }
+    }
+
+    /// Normalized bin probabilities (empty histogram yields zeros).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of the classic dataset: 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let mut s = RunningStats::new();
+        for _ in 0..100 {
+            s.push(3.25);
+        }
+        assert!(s.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn lln_bound_shrinks_with_n() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 2) as f64);
+        }
+        assert!(large.lln_bound(0.1) < small.lln_bound(0.1));
+        assert!(RunningStats::new().lln_bound(0.1) == 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let h = Histogram::build([0.0, 0.5, 1.5, 2.5, 99.0], 3, 3.0);
+        assert_eq!(h.counts, vec![2, 1, 2]);
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_probabilities_are_zero() {
+        let h = Histogram::build(std::iter::empty(), 4, 1.0);
+        assert_eq!(h.probabilities(), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Clock-glitch fault modeling: timing-violation attacks.
+//!
+//! The paper's holistic model explicitly covers clock-modification attacks
+//! ("for attacks based on clock modification, p consists of the amplitude
+//! and duration of injected clock glitches, region impacted by the
+//! injection and so on"). This module provides that second technique: a
+//! glitched cycle shortens the effective capture period, so flip-flops
+//! whose D-pin arrival time exceeds the glitch period latch the *stale*
+//! value of their data net — the value it still held from the previous
+//! cycle — instead of the freshly computed one. Bits whose old and new
+//! values coincide are unaffected, which is the timing-attack analog of
+//! logical masking.
+
+use crate::cycle::CycleValues;
+use crate::sta::Sta;
+use xlmc_netlist::{GateId, Netlist, NetlistError};
+
+/// Clock-glitch simulator bound to one netlist (timing cached).
+#[derive(Debug, Clone)]
+pub struct GlitchSim {
+    sta: Sta,
+    nominal_period_ps: f64,
+}
+
+impl GlitchSim {
+    /// Prepare a glitch simulator for `netlist` with the given nominal
+    /// clock period.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the netlist has a combinational loop.
+    pub fn new(netlist: &Netlist, nominal_period_ps: f64) -> Result<Self, NetlistError> {
+        Ok(Self {
+            sta: Sta::new(netlist)?,
+            nominal_period_ps,
+        })
+    }
+
+    /// The nominal clock period.
+    pub fn nominal_period_ps(&self) -> f64 {
+        self.nominal_period_ps
+    }
+
+    /// The critical-path delay of the netlist — glitch periods above it
+    /// never violate timing.
+    pub fn critical_path_ps(&self) -> f64 {
+        self.sta.critical_path_ps()
+    }
+
+    /// Simulate one glitched cycle.
+    ///
+    /// `prev` holds the stable node values of the cycle *before* the
+    /// glitch, `cur` the values the glitched cycle is computing;
+    /// `glitch_period_ps` is the shortened capture period. Returns the
+    /// flip-flops whose latched next-state bit flips: those whose D arrival
+    /// exceeds the glitch period *and* whose stale value differs from the
+    /// fresh one.
+    ///
+    /// A `glitch_period_ps` at or above the nominal period returns no
+    /// flips (the clock edge is simply where it belongs).
+    pub fn glitch(
+        &self,
+        netlist: &Netlist,
+        prev: &CycleValues,
+        cur: &CycleValues,
+        glitch_period_ps: f64,
+    ) -> Vec<GateId> {
+        if glitch_period_ps >= self.nominal_period_ps {
+            return Vec::new();
+        }
+        let mut flipped = Vec::new();
+        for &dff in netlist.dffs() {
+            let d = netlist.gate(dff).fanin[0];
+            if self.sta.arrival(d) > glitch_period_ps && prev.value(d) != cur.value(d) {
+                flipped.push(dff);
+            }
+        }
+        flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleSim;
+    use xlmc_netlist::{CellKind, Netlist};
+
+    /// A short and a long path into two flops:
+    ///   fast: a -> q_fast          (one buf)
+    ///   slow: a -> 6 bufs -> q_slow
+    fn two_paths() -> (Netlist, GateId, GateId) {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let fast = n.add_gate(CellKind::Buf, &[a]);
+        let mut slow = a;
+        for _ in 0..6 {
+            slow = n.add_gate(CellKind::Buf, &[slow]);
+        }
+        let qf = n.add_dff("q_fast", fast);
+        let qs = n.add_dff("q_slow", slow);
+        (n, qf, qs)
+    }
+
+    fn cycles(n: &Netlist) -> (CycleValues, CycleValues) {
+        let sim = CycleSim::new(n).unwrap();
+        // Previous cycle: a = 0; glitched cycle: a = 1 (both paths toggle).
+        let prev = sim.eval(n, &[false, false], &[false]);
+        let cur = sim.eval(n, prev.next_state(), &[true]);
+        (prev, cur)
+    }
+
+    #[test]
+    fn tight_glitch_catches_only_the_slow_path() {
+        let (n, qf, qs) = two_paths();
+        let (prev, cur) = cycles(&n);
+        let g = GlitchSim::new(&n, 1_200.0).unwrap();
+        // Between the fast path (1 buf = 25 ps) and the slow one (150 ps).
+        let flipped = g.glitch(&n, &prev, &cur, 80.0);
+        assert!(flipped.contains(&qs), "slow path violates timing");
+        assert!(!flipped.contains(&qf), "fast path still makes it");
+    }
+
+    #[test]
+    fn severe_glitch_catches_both_paths() {
+        let (n, qf, qs) = two_paths();
+        let (prev, cur) = cycles(&n);
+        let g = GlitchSim::new(&n, 1_200.0).unwrap();
+        let flipped = g.glitch(&n, &prev, &cur, 5.0);
+        assert!(flipped.contains(&qf));
+        assert!(flipped.contains(&qs));
+    }
+
+    #[test]
+    fn nominal_period_is_harmless() {
+        let (n, _, _) = two_paths();
+        let (prev, cur) = cycles(&n);
+        let g = GlitchSim::new(&n, 1_200.0).unwrap();
+        assert!(g.glitch(&n, &prev, &cur, 1_200.0).is_empty());
+        assert!(g.glitch(&n, &prev, &cur, 5_000.0).is_empty());
+    }
+
+    #[test]
+    fn stable_data_is_immune() {
+        // If the data nets do not change between cycles, even a brutal
+        // glitch latches the correct (identical) value.
+        let (n, _, _) = two_paths();
+        let sim = CycleSim::new(&n).unwrap();
+        let prev = sim.eval(&n, &[true, true], &[true]);
+        let cur = sim.eval(&n, prev.next_state(), &[true]);
+        let g = GlitchSim::new(&n, 1_200.0).unwrap();
+        assert!(g.glitch(&n, &prev, &cur, 5.0).is_empty());
+    }
+
+    #[test]
+    fn critical_path_bounds_the_vulnerable_window() {
+        let (n, _, _) = two_paths();
+        let g = GlitchSim::new(&n, 1_200.0).unwrap();
+        let cp = g.critical_path_ps();
+        assert!(cp > 100.0 && cp < 400.0, "cp = {cp}");
+        let (prev, cur) = cycles(&n);
+        assert!(g.glitch(&n, &prev, &cur, cp + 1.0).is_empty());
+    }
+}

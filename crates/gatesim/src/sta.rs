@@ -1,0 +1,97 @@
+//! Static timing analysis: arrival times for the transient latching model.
+
+use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError, Topology};
+
+/// Arrival times (in picoseconds from the clock edge) of every net.
+///
+/// Primary inputs and constants arrive at `t = 0`; DFF outputs launch after
+/// the clock-to-Q delay; combinational arrivals are the max over fanins plus
+/// the cell delay of [`CellKind::delay_ps`]. Transient pulses inherit these
+/// arrival times, which is what positions them relative to the latching
+/// window of the capturing flip-flops.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    arrival: Vec<f64>,
+}
+
+impl Sta {
+    /// Compute arrival times for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the netlist has a combinational loop.
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let topo = Topology::new(netlist)?;
+        let mut arrival = vec![0.0f64; netlist.len()];
+        for (id, gate) in netlist.iter() {
+            if gate.kind == CellKind::Dff {
+                arrival[id.index()] = CellKind::Dff.delay_ps();
+            }
+        }
+        for &id in topo.order() {
+            let gate = netlist.gate(id);
+            let max_in = gate
+                .fanin
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0f64, f64::max);
+            arrival[id.index()] = max_in + gate.kind.delay_ps();
+        }
+        Ok(Self { arrival })
+    }
+
+    /// Arrival time of a net in picoseconds.
+    pub fn arrival(&self, id: GateId) -> f64 {
+        self.arrival[id.index()]
+    }
+
+    /// The critical-path delay: the maximum arrival over all nets.
+    pub fn critical_path_ps(&self) -> f64 {
+        self.arrival.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g1 = n.add_gate(CellKind::Not, &[a]);
+        let g2 = n.add_gate(CellKind::Not, &[g1]);
+        let sta = Sta::new(&n).unwrap();
+        assert_eq!(sta.arrival(a), 0.0);
+        let d = CellKind::Not.delay_ps();
+        assert!((sta.arrival(g1) - d).abs() < 1e-9);
+        assert!((sta.arrival(g2) - 2.0 * d).abs() < 1e-9);
+        assert!((sta.critical_path_ps() - 2.0 * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_takes_max_over_fanins() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let slow = n.add_gate(CellKind::Xor, &[a, a]); // 55 ps
+        let fast = n.add_gate(CellKind::Not, &[a]); // 15 ps
+        let merge = n.add_gate(CellKind::And, &[slow, fast]);
+        let sta = Sta::new(&n).unwrap();
+        let expect = CellKind::Xor.delay_ps() + CellKind::And.delay_ps();
+        assert!((sta.arrival(merge) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_outputs_launch_at_clk_to_q() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let q = n.add_dff("q", a);
+        let g = n.add_gate(CellKind::Not, &[q]);
+        let sta = Sta::new(&n).unwrap();
+        assert!((sta.arrival(q) - CellKind::Dff.delay_ps()).abs() < 1e-9);
+        assert!(
+            (sta.arrival(g) - (CellKind::Dff.delay_ps() + CellKind::Not.delay_ps())).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Single-event-transient injection, propagation and latching (paper §5.3).
+//!
+//! A radiation strike produces voltage transients at the outputs of every
+//! impacted cell. During the fault-injection cycle, the gate-level
+//! simulation propagates these pulses through the combinational logic in
+//! topological order (Figure 6a) and applies the three classical masking
+//! mechanisms:
+//!
+//! * **logical masking** — a pulse only passes a gate that is sensitized to
+//!   the pulsing input(s) under the cycle's stable values,
+//! * **electrical masking** — the pulse narrows at each level and dies once
+//!   its duration falls below a threshold,
+//! * **latching-window masking** — a pulse reaching a flip-flop's D pin is
+//!   captured only if it overlaps the setup/hold window around the clock
+//!   edge (Figure 6b).
+//!
+//! Strikes on sequential cells (DFFs) are modeled as single-event upsets:
+//! the stored bit flips directly.
+
+use serde::{Deserialize, Serialize};
+use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError, Topology};
+
+use crate::cycle::CycleValues;
+
+/// Electrical and timing parameters of the transient model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientConfig {
+    /// Clock period in picoseconds.
+    pub clock_period_ps: f64,
+    /// Setup time of the flip-flops.
+    pub setup_ps: f64,
+    /// Hold time of the flip-flops.
+    pub hold_ps: f64,
+    /// Width of the transient generated at a struck cell output.
+    pub initial_duration_ps: f64,
+    /// Duration lost per traversed logic level (electrical attenuation).
+    pub attenuation_ps: f64,
+    /// Pulses narrower than this can no longer propagate.
+    pub min_duration_ps: f64,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        Self {
+            clock_period_ps: 1200.0,
+            setup_ps: 80.0,
+            hold_ps: 50.0,
+            initial_duration_ps: 300.0,
+            attenuation_ps: 8.0,
+            min_duration_ps: 12.0,
+        }
+    }
+}
+
+/// A voltage pulse at a gate output: `[start, start + duration]` ps after
+/// the launching clock edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pulse {
+    start: f64,
+    duration: f64,
+}
+
+/// The result of one strike simulation.
+#[derive(Debug, Clone, Default)]
+pub struct StrikeOutcome {
+    /// DFFs whose *next-state* bit is flipped by a latched transient.
+    pub latched_dffs: Vec<GateId>,
+    /// DFFs struck directly (SEU): their stored bit flips.
+    pub upset_dffs: Vec<GateId>,
+    /// Number of combinational gates that carried a propagating pulse.
+    pub pulses_propagated: usize,
+}
+
+impl StrikeOutcome {
+    /// All registers in error at the end of the injection cycle
+    /// (deduplicated, sorted): direct upsets plus latched transients.
+    pub fn faulty_registers(&self) -> Vec<GateId> {
+        let mut all: Vec<GateId> = self
+            .latched_dffs
+            .iter()
+            .chain(&self.upset_dffs)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Whether the strike was completely masked (no register in error).
+    pub fn is_masked(&self) -> bool {
+        self.latched_dffs.is_empty() && self.upset_dffs.is_empty()
+    }
+}
+
+/// Transient simulator bound to one netlist (topology cached).
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    topo: Topology,
+    config: TransientConfig,
+}
+
+impl TransientSim {
+    /// Prepare a transient simulator for `netlist` with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the netlist has a combinational loop.
+    pub fn new(netlist: &Netlist, config: TransientConfig) -> Result<Self, NetlistError> {
+        Ok(Self {
+            topo: Topology::new(netlist)?,
+            config,
+        })
+    }
+
+    /// The configured model parameters.
+    pub fn config(&self) -> &TransientConfig {
+        &self.config
+    }
+
+    /// Simulate a strike on `struck` cells during a cycle with stable values
+    /// `values` (from [`crate::cycle::CycleSim::eval`] on the same netlist).
+    ///
+    /// `strike_time_ps` is the moment of the particle hit within the cycle
+    /// (0 = launching clock edge). The radiation moment is part of the
+    /// attack's intrinsic uncertainty, so callers typically sample it
+    /// uniformly over the clock period — pulses only latch when
+    /// `strike_time + path delay` lands in the capture window, which is the
+    /// latching-window masking of Figure 6(b).
+    ///
+    /// Struck DFFs become direct upsets (the storage node flips regardless
+    /// of timing); struck combinational cells launch transients that are
+    /// propagated and checked against the latching window at every reached
+    /// flip-flop.
+    pub fn strike(
+        &self,
+        netlist: &Netlist,
+        values: &CycleValues,
+        struck: &[GateId],
+        strike_time_ps: f64,
+    ) -> StrikeOutcome {
+        let mut outcome = StrikeOutcome::default();
+        let mut pulses: Vec<Option<Pulse>> = vec![None; netlist.len()];
+
+        for &g in struck {
+            let gate = netlist.gate(g);
+            match gate.kind {
+                CellKind::Dff => outcome.upset_dffs.push(g),
+                CellKind::Input | CellKind::Const(_) | CellKind::Output => {}
+                _ => {
+                    pulses[g.index()] = Some(Pulse {
+                        start: strike_time_ps,
+                        duration: self.config.initial_duration_ps,
+                    });
+                }
+            }
+        }
+
+        // Propagate in topological order. A struck gate keeps its own pulse
+        // (the strike dominates anything arriving from fanins).
+        for &id in self.topo.order() {
+            if pulses[id.index()].is_some() {
+                outcome.pulses_propagated += 1;
+                continue;
+            }
+            let gate = netlist.gate(id);
+            let pulsing: Vec<usize> = gate
+                .fanin
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| pulses[f.index()].is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if pulsing.is_empty() {
+                continue;
+            }
+            // Logical masking: does flipping the pulsing inputs flip the
+            // output under the cycle's stable side-input values?
+            let mut ins: Vec<bool> = gate
+                .fanin
+                .iter()
+                .map(|f| values.value(*f))
+                .collect();
+            let nominal = gate.kind.eval(&ins);
+            for &i in &pulsing {
+                ins[i] = !ins[i];
+            }
+            let flipped = gate.kind.eval(&ins);
+            if flipped == nominal {
+                continue;
+            }
+            // Electrical masking: the pulse narrows at each level.
+            let max_duration = pulsing
+                .iter()
+                .map(|&i| pulses[gate.fanin[i].index()].unwrap().duration)
+                .fold(0.0f64, f64::max);
+            let duration = max_duration - self.config.attenuation_ps;
+            if duration < self.config.min_duration_ps {
+                continue;
+            }
+            let start = pulsing
+                .iter()
+                .map(|&i| pulses[gate.fanin[i].index()].unwrap().start)
+                .fold(0.0f64, f64::max)
+                + gate.kind.delay_ps();
+            pulses[id.index()] = Some(Pulse { start, duration });
+            outcome.pulses_propagated += 1;
+        }
+
+        // Latching-window masking at each DFF's D pin.
+        let window_lo = self.config.clock_period_ps - self.config.setup_ps;
+        let window_hi = self.config.clock_period_ps + self.config.hold_ps;
+        for &dff in netlist.dffs() {
+            let d = netlist.gate(dff).fanin[0];
+            if let Some(p) = pulses[d.index()] {
+                let pulse_lo = p.start;
+                let pulse_hi = p.start + p.duration;
+                if pulse_lo <= window_hi && pulse_hi >= window_lo {
+                    outcome.latched_dffs.push(dff);
+                }
+            }
+        }
+        outcome.latched_dffs.sort_unstable();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleSim;
+
+    /// Config where any pulse reaching a D pin latches (huge window, no
+    /// attenuation) so tests can focus on one mechanism at a time.
+    fn permissive() -> TransientConfig {
+        TransientConfig {
+            clock_period_ps: 1_000.0,
+            setup_ps: 1_000.0,
+            hold_ps: 1_000.0,
+            initial_duration_ps: 500.0,
+            attenuation_ps: 0.0,
+            min_duration_ps: 1.0,
+        }
+    }
+
+    /// buf chain: a -> g -> dff
+    fn chain_to_dff() -> (Netlist, GateId, GateId) {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g = n.add_gate(CellKind::Buf, &[a]);
+        let q = n.add_dff("q", g);
+        (n, g, q)
+    }
+
+    #[test]
+    fn pulse_reaches_and_latches() {
+        let (n, g, q) = chain_to_dff();
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+        let out = ts.strike(&n, &cv, &[g], 0.0);
+        assert_eq!(out.latched_dffs, vec![q]);
+        assert!(out.upset_dffs.is_empty());
+        assert!(!out.is_masked());
+        assert_eq!(out.faulty_registers(), vec![q]);
+    }
+
+    #[test]
+    fn struck_register_is_direct_upset() {
+        let (n, _, q) = chain_to_dff();
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+        let out = ts.strike(&n, &cv, &[q], 0.0);
+        assert_eq!(out.upset_dffs, vec![q]);
+        assert!(out.latched_dffs.is_empty());
+    }
+
+    #[test]
+    fn logical_masking_blocks_unsensitized_path() {
+        // and(a, b) with b = 0: a pulse on the a-side buf is masked.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let buf = n.add_gate(CellKind::Buf, &[a]);
+        let g = n.add_gate(CellKind::And, &[buf, b]);
+        let q = n.add_dff("q", g);
+        let _ = q;
+        let sim = CycleSim::new(&n).unwrap();
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+
+        let cv = sim.eval(&n, &[false], &[true, false]); // b = 0 blocks
+        assert!(ts.strike(&n, &cv, &[buf], 0.0).is_masked());
+
+        let cv = sim.eval(&n, &[false], &[true, true]); // b = 1 sensitizes
+        assert!(!ts.strike(&n, &cv, &[buf], 0.0).is_masked());
+    }
+
+    #[test]
+    fn electrical_masking_kills_narrow_pulses() {
+        // A long buffer chain with aggressive attenuation.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let mut prev = a;
+        let mut first = None;
+        for _ in 0..10 {
+            prev = n.add_gate(CellKind::Buf, &[prev]);
+            first.get_or_insert(prev);
+        }
+        n.add_dff("q", prev);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let cfg = TransientConfig {
+            initial_duration_ps: 50.0,
+            attenuation_ps: 10.0,
+            min_duration_ps: 20.0,
+            ..permissive()
+        };
+        let ts = TransientSim::new(&n, cfg).unwrap();
+        // Struck at the head of the chain: dies after ~3 levels.
+        let out = ts.strike(&n, &cv, &[first.unwrap()], 0.0);
+        assert!(out.is_masked());
+        // Struck adjacent to the flop: survives.
+        let out = ts.strike(&n, &cv, &[prev], 0.0);
+        assert!(!out.is_masked());
+    }
+
+    #[test]
+    fn latching_window_masks_early_pulses() {
+        // Pulse at t≈25..75 ps; window at [950, 1030]: no overlap -> masked.
+        let (n, g, _) = chain_to_dff();
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let cfg = TransientConfig {
+            clock_period_ps: 1_000.0,
+            setup_ps: 50.0,
+            hold_ps: 30.0,
+            initial_duration_ps: 50.0,
+            attenuation_ps: 0.0,
+            min_duration_ps: 1.0,
+        };
+        let ts = TransientSim::new(&n, cfg).unwrap();
+        assert!(ts.strike(&n, &cv, &[g], 0.0).is_masked());
+
+        // A wide pulse spanning into the window latches.
+        let cfg_wide = TransientConfig {
+            initial_duration_ps: 2_000.0,
+            ..cfg
+        };
+        let ts = TransientSim::new(&n, cfg_wide).unwrap();
+        assert!(!ts.strike(&n, &cv, &[g], 0.0).is_masked());
+    }
+
+    #[test]
+    fn multi_cell_strike_can_fan_to_several_registers() {
+        // One struck gate fans out to two flops; also strike a third flop.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g = n.add_gate(CellKind::Not, &[a]);
+        let q1 = n.add_dff("q1", g);
+        let q2 = n.add_dff("q2", g);
+        let q3 = n.add_dff("q3", a);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false; 3], &[false]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+        let out = ts.strike(&n, &cv, &[g, q3], 0.0);
+        assert_eq!(out.latched_dffs, vec![q1, q2]);
+        assert_eq!(out.upset_dffs, vec![q3]);
+        assert_eq!(out.faulty_registers(), vec![q1, q2, q3]);
+    }
+
+    #[test]
+    fn xor_always_sensitizes() {
+        // XOR propagates regardless of the side input value.
+        for side in [false, true] {
+            let mut n = Netlist::new();
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let buf = n.add_gate(CellKind::Buf, &[a]);
+            let g = n.add_gate(CellKind::Xor, &[buf, b]);
+            n.add_dff("q", g);
+            let sim = CycleSim::new(&n).unwrap();
+            let cv = sim.eval(&n, &[false], &[false, side]);
+            let ts = TransientSim::new(&n, permissive()).unwrap();
+            assert!(!ts.strike(&n, &cv, &[buf], 0.0).is_masked(), "side {side}");
+        }
+    }
+
+    #[test]
+    fn strike_on_input_or_output_marker_is_ignored() {
+        let (n, _, _) = chain_to_dff();
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+        let a = n.inputs()[0];
+        assert!(ts.strike(&n, &cv, &[a], 0.0).is_masked());
+    }
+
+    #[test]
+    fn reconvergent_pulses_cancel_logically() {
+        // a -> buf -> (x, y); xor(x_path, y_path) reconverges: flipping both
+        // inputs of the XOR leaves the output unchanged -> masked.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let buf = n.add_gate(CellKind::Buf, &[a]);
+        let p1 = n.add_gate(CellKind::Buf, &[buf]);
+        let p2 = n.add_gate(CellKind::Buf, &[buf]);
+        let g = n.add_gate(CellKind::Xor, &[p1, p2]);
+        n.add_dff("q", g);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[true]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+        let out = ts.strike(&n, &cv, &[buf], 0.0);
+        assert!(out.is_masked(), "reconvergent flip must cancel in XOR");
+    }
+}

@@ -1,0 +1,1 @@
+//! Carrier crate for the /tests integration suites (see repository tests/).

@@ -1,0 +1,403 @@
+//! Structural construction combinators for multi-bit datapath logic.
+//!
+//! [`BusBuilder`] wraps a mutable [`Netlist`] and provides the word-level
+//! primitives the MPU elaboration needs: multi-bit inputs and registers,
+//! equality/magnitude comparators, reduction trees, muxes and adders. Every
+//! combinator lowers to plain library cells so the produced netlist is an
+//! ordinary gate graph.
+
+use crate::cell::CellKind;
+use crate::netlist::{GateId, Netlist};
+
+/// A little-endian bus: `bits[0]` is the least significant bit.
+pub type Bus = Vec<GateId>;
+
+/// Word-level construction helper over a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use xlmc_netlist::{BusBuilder, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let mut b = BusBuilder::new(&mut n);
+/// let a = b.input_bus("a", 8);
+/// let c = b.const_bus(0x5a, 8);
+/// let eq = b.eq(&a, &c);
+/// b.netlist().add_output("match", eq);
+/// ```
+pub struct BusBuilder<'a> {
+    netlist: &'a mut Netlist,
+}
+
+impl<'a> BusBuilder<'a> {
+    /// Wrap a netlist for word-level construction.
+    pub fn new(netlist: &'a mut Netlist) -> Self {
+        Self { netlist }
+    }
+
+    /// Access the underlying netlist.
+    pub fn netlist(&mut self) -> &mut Netlist {
+        self.netlist
+    }
+
+    /// Add a `width`-bit primary input bus named `name[i]`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.netlist.add_input(format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// A constant bus holding `value` (little-endian, low `width` bits).
+    pub fn const_bus(&mut self, value: u64, width: usize) -> Bus {
+        (0..width)
+            .map(|i| self.netlist.add_const((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Bitwise NOT of a bus.
+    pub fn not(&mut self, a: &[GateId]) -> Bus {
+        a.iter()
+            .map(|&g| self.netlist.add_gate(CellKind::Not, &[g]))
+            .collect()
+    }
+
+    /// Bitwise binary op over two equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths differ.
+    pub fn bitwise(&mut self, kind: CellKind, a: &[GateId], b: &[GateId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "bitwise width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.netlist.add_gate(kind, &[x, y]))
+            .collect()
+    }
+
+    /// AND-reduce a set of signals to one (returns a constant-1 for empty).
+    pub fn and_reduce(&mut self, xs: &[GateId]) -> GateId {
+        self.reduce(CellKind::And, xs, true)
+    }
+
+    /// OR-reduce a set of signals to one (returns a constant-0 for empty).
+    pub fn or_reduce(&mut self, xs: &[GateId]) -> GateId {
+        self.reduce(CellKind::Or, xs, false)
+    }
+
+    fn reduce(&mut self, kind: CellKind, xs: &[GateId], empty: bool) -> GateId {
+        match xs.len() {
+            0 => self.netlist.add_const(empty),
+            1 => xs[0],
+            _ => {
+                // Balanced tree of 2-input gates keeps depth logarithmic,
+                // matching what a synthesis tool would emit.
+                let mut layer: Vec<GateId> = xs.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(self.netlist.add_gate(kind, pair));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Equality comparator: high when `a == b` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths differ.
+    pub fn eq(&mut self, a: &[GateId], b: &[GateId]) -> GateId {
+        let eqs = self.bitwise(CellKind::Xnor, a, b);
+        self.and_reduce(&eqs)
+    }
+
+    /// Unsigned `a >= b` via a ripple borrow chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths differ.
+    pub fn uge(&mut self, a: &[GateId], b: &[GateId]) -> GateId {
+        assert_eq!(a.len(), b.len(), "uge width mismatch");
+        // a >= b  <=>  no borrow out of a - b.
+        // borrow_{i+1} = (!a_i & b_i) | (!(a_i ^ b_i) & borrow_i)
+        let mut borrow = self.netlist.add_const(false);
+        for (&ai, &bi) in a.iter().zip(b) {
+            let na = self.netlist.add_gate(CellKind::Not, &[ai]);
+            let t1 = self.netlist.add_gate(CellKind::And, &[na, bi]);
+            let x = self.netlist.add_gate(CellKind::Xnor, &[ai, bi]);
+            let t2 = self.netlist.add_gate(CellKind::And, &[x, borrow]);
+            borrow = self.netlist.add_gate(CellKind::Or, &[t1, t2]);
+        }
+        self.netlist.add_gate(CellKind::Not, &[borrow])
+    }
+
+    /// Unsigned `a <= b` (convenience wrapper over [`BusBuilder::uge`]).
+    pub fn ule(&mut self, a: &[GateId], b: &[GateId]) -> GateId {
+        self.uge(b, a)
+    }
+
+    /// 2:1 mux over buses: selects `a` when `sel` is low, `b` when high.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths differ.
+    pub fn mux(&mut self, sel: GateId, a: &[GateId], b: &[GateId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "mux width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.netlist.add_gate(CellKind::Mux, &[sel, x, y]))
+            .collect()
+    }
+
+    /// Ripple-carry adder; returns `width` sum bits (carry-out discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths differ.
+    pub fn add(&mut self, a: &[GateId], b: &[GateId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "add width mismatch");
+        let mut carry = self.netlist.add_const(false);
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let x = self.netlist.add_gate(CellKind::Xor, &[ai, bi]);
+            sum.push(self.netlist.add_gate(CellKind::Xor, &[x, carry]));
+            let c1 = self.netlist.add_gate(CellKind::And, &[ai, bi]);
+            let c2 = self.netlist.add_gate(CellKind::And, &[x, carry]);
+            carry = self.netlist.add_gate(CellKind::Or, &[c1, c2]);
+        }
+        sum
+    }
+
+    /// A register bank: `width` DFFs named `name[i]` that capture `d` every
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d.len() != width`.
+    pub fn dff_bus(&mut self, name: &str, d: &[GateId]) -> Bus {
+        d.iter()
+            .enumerate()
+            .map(|(i, &di)| self.netlist.add_dff(format!("{name}[{i}]"), di))
+            .collect()
+    }
+
+    /// A register bank with write enable: each bit holds its value when `en`
+    /// is low and captures `d` when `en` is high. Lowers to a mux in front of
+    /// each DFF, with the mux fed back from the DFF output.
+    pub fn dff_bus_en(&mut self, name: &str, d: &[GateId], en: GateId) -> Bus {
+        d.iter()
+            .enumerate()
+            .map(|(i, &di)| {
+                // Create the DFF first with a placeholder D, then wire the
+                // hold mux that references the DFF output back to its D pin.
+                let placeholder = self.netlist.add_const(false);
+                let q = self.netlist.add_dff(format!("{name}[{i}]"), placeholder);
+                let hold = self.netlist.add_gate(CellKind::Mux, &[en, q, di]);
+                self.netlist.set_fanin(q, vec![hold]);
+                q
+            })
+            .collect()
+    }
+
+    /// Expose a bus as named primary outputs `name[i]`.
+    pub fn output_bus(&mut self, name: &str, bus: &[GateId]) -> Bus {
+        bus.iter()
+            .enumerate()
+            .map(|(i, &g)| self.netlist.add_output(format!("{name}[{i}]"), g))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::Topology;
+
+    /// Evaluate a pure-combinational netlist built over input buses.
+    fn eval(netlist: &Netlist, assign: &dyn Fn(&str) -> bool) -> Vec<(String, bool)> {
+        let topo = Topology::new(netlist).unwrap();
+        let mut values = vec![false; netlist.len()];
+        for (id, gate) in netlist.iter() {
+            match gate.kind {
+                CellKind::Input => values[id.index()] = assign(gate.name.as_deref().unwrap()),
+                CellKind::Const(v) => values[id.index()] = v,
+                _ => {}
+            }
+        }
+        for &id in topo.order() {
+            let gate = netlist.gate(id);
+            let ins: Vec<bool> = gate.fanin.iter().map(|f| values[f.index()]).collect();
+            values[id.index()] = gate.kind.eval(&ins);
+        }
+        netlist
+            .outputs()
+            .iter()
+            .map(|&o| {
+                (
+                    netlist.name_of(o).unwrap().to_owned(),
+                    values[o.index()],
+                )
+            })
+            .collect()
+    }
+
+    fn assign_bus(name: &str, value: u64) -> impl Fn(&str) -> bool + '_ {
+        move |pin: &str| {
+            let (base, idx) = pin.split_once('[').unwrap();
+            assert_eq!(base, name);
+            let idx: u32 = idx.trim_end_matches(']').parse().unwrap();
+            (value >> idx) & 1 == 1
+        }
+    }
+
+    #[test]
+    fn eq_matches_semantics() {
+        for (a_val, c_val, expect) in [(0x5au64, 0x5au64, true), (0x5a, 0x5b, false)] {
+            let mut n = Netlist::new();
+            let mut b = BusBuilder::new(&mut n);
+            let a = b.input_bus("a", 8);
+            let c = b.const_bus(c_val, 8);
+            let eq = b.eq(&a, &c);
+            n.add_output("y", eq);
+            let out = eval(&n, &assign_bus("a", a_val));
+            assert_eq!(out[0].1, expect, "{a_val:#x} == {c_val:#x}");
+        }
+    }
+
+    #[test]
+    fn uge_exhaustive_4bit() {
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut n = Netlist::new();
+                let mut b = BusBuilder::new(&mut n);
+                let a = b.input_bus("a", 4);
+                let c = b.const_bus(bv, 4);
+                let ge = b.uge(&a, &c);
+                n.add_output("y", ge);
+                let out = eval(&n, &assign_bus("a", av));
+                assert_eq!(out[0].1, av >= bv, "{av} >= {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn ule_is_flipped_uge() {
+        for (av, bv) in [(3u64, 7u64), (7, 3), (5, 5)] {
+            let mut n = Netlist::new();
+            let mut b = BusBuilder::new(&mut n);
+            let a = b.input_bus("a", 4);
+            let c = b.const_bus(bv, 4);
+            let le = b.ule(&a, &c);
+            n.add_output("y", le);
+            let out = eval(&n, &assign_bus("a", av));
+            assert_eq!(out[0].1, av <= bv, "{av} <= {bv}");
+        }
+    }
+
+    #[test]
+    fn add_exhaustive_4bit() {
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut n = Netlist::new();
+                let mut b = BusBuilder::new(&mut n);
+                let a = b.input_bus("a", 4);
+                let c = b.const_bus(bv, 4);
+                let s = b.add(&a, &c);
+                b.output_bus("s", &s);
+                let out = eval(&n, &assign_bus("a", av));
+                let got: u64 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, v))| (*v as u64) << i)
+                    .sum();
+                assert_eq!(got, (av + bv) & 0xf, "{av} + {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_bus() {
+        for sel in [false, true] {
+            let mut n = Netlist::new();
+            let mut b = BusBuilder::new(&mut n);
+            let s = b.netlist().add_input("sel");
+            let a = b.const_bus(0b0011, 4);
+            let c = b.const_bus(0b1100, 4);
+            let m = b.mux(s, &a, &c);
+            b.output_bus("m", &m);
+            let out = eval(&n, &|pin| {
+                assert_eq!(pin, "sel");
+                sel
+            });
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, (_, v))| (*v as u64) << i)
+                .sum();
+            assert_eq!(got, if sel { 0b1100 } else { 0b0011 });
+        }
+    }
+
+    #[test]
+    fn reduce_trees_handle_degenerate_sizes() {
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        let empty_and = b.and_reduce(&[]);
+        let empty_or = b.or_reduce(&[]);
+        assert_eq!(n.gate(empty_and).kind, CellKind::Const(true));
+        assert_eq!(n.gate(empty_or).kind, CellKind::Const(false));
+        let mut b = BusBuilder::new(&mut n);
+        let x = b.netlist().add_input("x");
+        assert_eq!(b.and_reduce(&[x]), x);
+    }
+
+    #[test]
+    fn reduce_tree_depth_is_logarithmic() {
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        let xs = b.input_bus("x", 64);
+        let r = b.and_reduce(&xs);
+        n.add_output("y", r);
+        let topo = Topology::new(&n).unwrap();
+        assert!(topo.level(r) <= 7, "depth {} too deep", topo.level(r));
+    }
+
+    #[test]
+    fn dff_bus_en_holds_and_loads() {
+        // Structure check: each bit is dff fed by mux(en, q, d).
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        let d = b.input_bus("d", 2);
+        let en = b.netlist().add_input("en");
+        let q = b.dff_bus_en("r", &d, en);
+        assert_eq!(q.len(), 2);
+        for (i, &qi) in q.iter().enumerate() {
+            let gate = n.gate(qi);
+            assert_eq!(gate.kind, CellKind::Dff);
+            let mux = n.gate(gate.fanin[0]);
+            assert_eq!(mux.kind, CellKind::Mux);
+            assert_eq!(mux.fanin[0], en);
+            assert_eq!(mux.fanin[1], qi, "hold path bit {i}");
+            assert_eq!(mux.fanin[2], d[i], "load path bit {i}");
+        }
+        assert_eq!(n.validate(), Ok(()));
+    }
+
+    #[test]
+    fn named_buses_resolve() {
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        b.input_bus("addr", 16);
+        assert!(n.find("addr[0]").is_some());
+        assert!(n.find("addr[15]").is_some());
+        assert!(n.find("addr[16]").is_none());
+    }
+}

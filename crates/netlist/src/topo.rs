@@ -1,0 +1,163 @@
+//! Topological ordering and level assignment of the combinational graph.
+
+use crate::netlist::{GateId, Netlist, NetlistError};
+
+/// A topological order of the combinational gates of a netlist.
+///
+/// Sequential elements ([`crate::CellKind::Dff`]) and sources are treated as
+/// boundary nodes: DFF outputs and primary inputs are assumed available
+/// before the combinational sweep, DFF `D` pins and output markers are
+/// evaluated during it. Kahn's algorithm doubles as the combinational-loop
+/// check.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    order: Vec<GateId>,
+    level: Vec<u32>,
+}
+
+impl Topology {
+    /// Build the topological order of `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] when the combinational
+    /// graph is cyclic.
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let n = netlist.len();
+        let mut indegree = vec![0u32; n];
+        let mut level = vec![0u32; n];
+        // Fanout adjacency restricted to combinational edges: an edge from a
+        // gate to a consumer counts unless the consumer is a DFF (DFFs
+        // consume at the *end* of the cycle and never form comb loops).
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for (id, gate) in netlist.iter() {
+            if gate.kind.is_source() || gate.kind.is_sequential() {
+                continue;
+            }
+            for &f in &gate.fanin {
+                fanout[f.index()].push(id);
+                indegree[id.index()] += 1;
+            }
+        }
+        let mut queue: Vec<GateId> = netlist
+            .iter()
+            .filter(|(_, g)| g.kind.is_source() || g.kind.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let gate = netlist.gate(id);
+            if gate.kind.is_combinational() {
+                order.push(id);
+            }
+            for &consumer in &fanout[id.index()] {
+                let c = consumer.index();
+                indegree[c] -= 1;
+                level[c] = level[c].max(level[id.index()] + 1);
+                if indegree[c] == 0 {
+                    queue.push(consumer);
+                }
+            }
+        }
+        if let Some((i, _)) = indegree.iter().enumerate().find(|(_, &d)| d > 0) {
+            return Err(NetlistError::CombinationalLoop { gate: GateId(i as u32) });
+        }
+        Ok(Self { order, level })
+    }
+
+    /// The combinational gates (including output markers) in dependency
+    /// order: every gate appears after all of its combinational fanins.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Logic level of a gate: 0 for sources and DFF outputs, `1 + max(fanin
+    /// levels)` for combinational gates.
+    pub fn level(&self, id: GateId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum logic level in the netlist (depth of the comb. graph).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(CellKind::And, &[a, b]);
+        let g2 = n.add_gate(CellKind::Not, &[g1]);
+        let g3 = n.add_gate(CellKind::Or, &[g2, a]);
+        n.add_output("y", g3);
+        let topo = Topology::new(&n).unwrap();
+        let pos = |id: GateId| topo.order().iter().position(|&g| g == id).unwrap();
+        assert!(pos(g1) < pos(g2));
+        assert!(pos(g2) < pos(g3));
+    }
+
+    #[test]
+    fn levels_increase_along_paths() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g1 = n.add_gate(CellKind::Not, &[a]);
+        let g2 = n.add_gate(CellKind::Not, &[g1]);
+        let g3 = n.add_gate(CellKind::Not, &[g2]);
+        let topo = Topology::new(&n).unwrap();
+        assert_eq!(topo.level(a), 0);
+        assert_eq!(topo.level(g1), 1);
+        assert_eq!(topo.level(g2), 2);
+        assert_eq!(topo.level(g3), 3);
+        assert_eq!(topo.depth(), 3);
+    }
+
+    #[test]
+    fn dff_is_a_boundary_not_a_loop() {
+        let mut n = Netlist::new();
+        // toggle flop: q -> not -> d
+        let inv_id = GateId(0);
+        let q_id = GateId(1);
+        let inv = n.add_gate(CellKind::Not, &[q_id]);
+        assert_eq!(inv, inv_id);
+        let q = n.add_dff("q", inv);
+        assert_eq!(q, q_id);
+        let topo = Topology::new(&n).unwrap();
+        assert_eq!(topo.order(), &[inv]);
+        assert_eq!(topo.level(q), 0);
+        assert_eq!(topo.level(inv), 1);
+    }
+
+    #[test]
+    fn detects_loop() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        // g1 <-> g2 cycle
+        let g1 = GateId(1);
+        let g2 = GateId(2);
+        let got1 = n.add_gate(CellKind::And, &[a, g2]);
+        let got2 = n.add_gate(CellKind::Or, &[a, g1]);
+        assert_eq!((got1, got2), (g1, g2));
+        assert!(matches!(
+            Topology::new(&n),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        let n = Netlist::new();
+        let topo = Topology::new(&n).unwrap();
+        assert!(topo.order().is_empty());
+        assert_eq!(topo.depth(), 0);
+    }
+}

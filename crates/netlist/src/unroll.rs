@@ -1,0 +1,313 @@
+//! Explicit time-frame unrolling of a sequential netlist.
+//!
+//! [`UnrolledNetlist`] materializes `k` frames of a sequential circuit as one
+//! purely combinational netlist, the classical construction behind the
+//! paper's "unroll the circuit netlist and traverse the unrolled netlist"
+//! pre-characterization step. Frame `k-1` is the *earliest* cycle: register
+//! states entering it become fresh primary inputs; a DFF in frame `i`
+//! becomes a buffer of its D-pin logic from frame `i + 1`.
+//!
+//! The frame-indexed cone analysis in [`crate::cones`] computes the same
+//! structure without materializing it; `UnrolledNetlist` exists so that the
+//! two can be cross-checked (see the equivalence tests) and for the worked
+//! correlation example of the paper's Figure 3.
+
+use crate::cell::CellKind;
+use crate::netlist::{GateId, Netlist};
+use std::collections::HashMap;
+
+/// A reference to a gate of the original netlist in a specific frame.
+///
+/// Frame 0 is the final (latest) cycle; larger frames are earlier cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnrolledRef {
+    /// Gate in the original netlist.
+    pub gate: GateId,
+    /// Time frame (0 = latest cycle, `k-1` = earliest).
+    pub frame: u32,
+}
+
+/// A `k`-frame combinational unrolling of a sequential netlist.
+#[derive(Debug, Clone)]
+pub struct UnrolledNetlist {
+    netlist: Netlist,
+    frames: u32,
+    map: HashMap<UnrolledRef, GateId>,
+    initial_state_inputs: Vec<(GateId, GateId)>,
+}
+
+impl UnrolledNetlist {
+    /// Unroll `source` into `frames` combinational copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames == 0`.
+    pub fn new(source: &Netlist, frames: u32) -> Self {
+        assert!(frames > 0, "cannot unroll into zero frames");
+        let mut netlist = Netlist::new();
+        let mut map: HashMap<UnrolledRef, GateId> = HashMap::new();
+        let mut initial_state_inputs = Vec::new();
+
+        // Earliest frame first so fanins are already materialized.
+        for frame in (0..frames).rev() {
+            // Pass 1: sources for this frame. PIs become per-frame inputs;
+            // DFFs in the earliest frame become initial-state inputs, in
+            // later frames a buffer of the previous frame's D logic (patched
+            // in pass 2 once the D driver exists).
+            for (id, gate) in source.iter() {
+                let uref = UnrolledRef { gate: id, frame };
+                match gate.kind {
+                    CellKind::Input => {
+                        let name = format!("{}@{frame}", gate.name.as_deref().unwrap_or("in"));
+                        map.insert(uref, netlist.add_input(name));
+                    }
+                    CellKind::Const(v) => {
+                        map.insert(uref, netlist.add_const(v));
+                    }
+                    CellKind::Dff if frame == frames - 1 => {
+                        let name =
+                            format!("{}@init", gate.name.as_deref().unwrap_or("dff"));
+                        let init = netlist.add_input(name);
+                        map.insert(uref, init);
+                        initial_state_inputs.push((id, init));
+                    }
+                    _ => {}
+                }
+            }
+            // Pass 2: combinational gates and non-initial DFFs, in the
+            // source's topological order (a DFF's output in frame f is its D
+            // logic of frame f+1, which exists already).
+            let topo = crate::topo::Topology::new(source)
+                .expect("unroll requires an acyclic source netlist");
+            for (id, gate) in source.iter() {
+                if gate.kind == CellKind::Dff && frame < frames - 1 {
+                    let d = gate.fanin[0];
+                    let prev = map[&UnrolledRef { gate: d, frame: frame + 1 }];
+                    let name = format!("{}@{frame}", gate.name.as_deref().unwrap_or("dff"));
+                    let buf = netlist.add_named_gate(name, CellKind::Buf, &[prev]);
+                    map.insert(UnrolledRef { gate: id, frame }, buf);
+                }
+            }
+            for &id in topo.order() {
+                let gate = source.gate(id);
+                let fanin: Vec<GateId> = gate
+                    .fanin
+                    .iter()
+                    .map(|&f| map[&UnrolledRef { gate: f, frame }])
+                    .collect();
+                let new_id = match gate.kind {
+                    CellKind::Output => {
+                        let name =
+                            format!("{}@{frame}", gate.name.as_deref().unwrap_or("out"));
+                        netlist.add_output(name, fanin[0])
+                    }
+                    kind => netlist.add_gate(kind, &fanin),
+                };
+                map.insert(UnrolledRef { gate: id, frame }, new_id);
+            }
+        }
+
+        Self {
+            netlist,
+            frames,
+            map,
+            initial_state_inputs,
+        }
+    }
+
+    /// The materialized combinational netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// Map a source gate in a frame to its unrolled instance.
+    pub fn resolve(&self, gate: GateId, frame: u32) -> Option<GateId> {
+        self.map.get(&UnrolledRef { gate, frame }).copied()
+    }
+
+    /// The fresh inputs carrying the initial register state, as
+    /// `(source_dff, unrolled_input)` pairs.
+    pub fn initial_state_inputs(&self) -> &[(GateId, GateId)] {
+        &self.initial_state_inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::Topology;
+    use std::collections::HashMap as Map;
+
+    /// Evaluate a combinational netlist with named input assignments.
+    fn eval_comb(netlist: &Netlist, assign: &Map<String, bool>) -> Map<String, bool> {
+        let topo = Topology::new(netlist).unwrap();
+        let mut values = vec![false; netlist.len()];
+        for (id, gate) in netlist.iter() {
+            match gate.kind {
+                CellKind::Input => {
+                    values[id.index()] = *assign
+                        .get(gate.name.as_deref().unwrap())
+                        .unwrap_or_else(|| panic!("missing input {:?}", gate.name));
+                }
+                CellKind::Const(v) => values[id.index()] = v,
+                _ => {}
+            }
+        }
+        for &id in topo.order() {
+            let gate = netlist.gate(id);
+            let ins: Vec<bool> = gate.fanin.iter().map(|f| values[f.index()]).collect();
+            values[id.index()] = gate.kind.eval(&ins);
+        }
+        netlist
+            .outputs()
+            .iter()
+            .map(|&o| (netlist.name_of(o).unwrap().to_owned(), values[o.index()]))
+            .collect()
+    }
+
+    /// Simulate the sequential source for `cycles` cycles.
+    fn simulate_seq(
+        netlist: &Netlist,
+        init: &Map<String, bool>,
+        inputs_per_cycle: &[Map<String, bool>],
+    ) -> Vec<Map<String, bool>> {
+        let topo = Topology::new(netlist).unwrap();
+        let mut state: Map<GateId, bool> = netlist
+            .dffs()
+            .iter()
+            .map(|&d| (d, *init.get(netlist.name_of(d).unwrap()).unwrap_or(&false)))
+            .collect();
+        let mut outs = Vec::new();
+        for cycle_inputs in inputs_per_cycle {
+            let mut values = vec![false; netlist.len()];
+            for (id, gate) in netlist.iter() {
+                match gate.kind {
+                    CellKind::Input => {
+                        values[id.index()] =
+                            *cycle_inputs.get(gate.name.as_deref().unwrap()).unwrap()
+                    }
+                    CellKind::Const(v) => values[id.index()] = v,
+                    CellKind::Dff => values[id.index()] = state[&id],
+                    _ => {}
+                }
+            }
+            for &id in topo.order() {
+                let gate = netlist.gate(id);
+                let ins: Vec<bool> = gate.fanin.iter().map(|f| values[f.index()]).collect();
+                values[id.index()] = gate.kind.eval(&ins);
+            }
+            outs.push(
+                netlist
+                    .outputs()
+                    .iter()
+                    .map(|&o| (netlist.name_of(o).unwrap().to_owned(), values[o.index()]))
+                    .collect(),
+            );
+            let new_state: Map<GateId, bool> = netlist
+                .dffs()
+                .iter()
+                .map(|&d| (d, values[netlist.gate(d).fanin[0].index()]))
+                .collect();
+            state = new_state;
+        }
+        outs
+    }
+
+    fn shift_reg() -> Netlist {
+        // x -> r0 -> r1 -> y, plus y_comb = x ^ r1
+        let mut n = Netlist::new();
+        let x = n.add_input("x");
+        let r0 = n.add_dff("r0", x);
+        let r1 = n.add_dff("r1", r0);
+        let xo = n.add_gate(CellKind::Xor, &[x, r1]);
+        n.add_output("y", r1);
+        n.add_output("yx", xo);
+        n
+    }
+
+    #[test]
+    fn unrolled_structure_has_per_frame_inputs() {
+        let n = shift_reg();
+        let u = UnrolledNetlist::new(&n, 3);
+        let un = u.netlist();
+        assert!(un.find("x@0").is_some());
+        assert!(un.find("x@2").is_some());
+        assert!(un.find("r0@init").is_some());
+        assert!(un.find("r1@init").is_some());
+        assert_eq!(un.dffs().len(), 0, "unrolled netlist is combinational");
+        assert_eq!(un.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unrolled_matches_sequential_simulation() {
+        let n = shift_reg();
+        let frames = 3u32;
+        let u = UnrolledNetlist::new(&n, frames);
+
+        // Sequential: run 3 cycles with inputs x = [1, 0, 1], init r0=r1=0.
+        let xs = [true, false, true];
+        let init: Map<String, bool> =
+            [("r0".to_owned(), false), ("r1".to_owned(), false)].into();
+        let per_cycle: Vec<Map<String, bool>> = xs
+            .iter()
+            .map(|&x| [("x".to_owned(), x)].into())
+            .collect();
+        let seq_outs = simulate_seq(&n, &init, &per_cycle);
+
+        // Unrolled: frame 2 is cycle 0 (earliest), frame 0 is cycle 2.
+        let mut assign: Map<String, bool> = Map::new();
+        for (cycle, &x) in xs.iter().enumerate() {
+            let frame = frames - 1 - cycle as u32;
+            assign.insert(format!("x@{frame}"), x);
+        }
+        assign.insert("r0@init".into(), false);
+        assign.insert("r1@init".into(), false);
+        let unrolled_outs = eval_comb(u.netlist(), &assign);
+
+        // Output at frame f corresponds to sequential cycle (frames-1-f).
+        for frame in 0..frames {
+            let cycle = (frames - 1 - frame) as usize;
+            for name in ["y", "yx"] {
+                assert_eq!(
+                    unrolled_outs[&format!("{name}@{frame}")], seq_outs[cycle][name],
+                    "output {name} frame {frame} / cycle {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_maps_every_gate_per_frame() {
+        let n = shift_reg();
+        let u = UnrolledNetlist::new(&n, 2);
+        for (id, _) in n.iter() {
+            for frame in 0..2 {
+                assert!(
+                    u.resolve(id, frame).is_some(),
+                    "gate {id} frame {frame} missing"
+                );
+            }
+        }
+        assert!(u.resolve(GateId(0), 2).is_none());
+    }
+
+    #[test]
+    fn initial_state_inputs_cover_all_dffs() {
+        let n = shift_reg();
+        let u = UnrolledNetlist::new(&n, 4);
+        assert_eq!(u.initial_state_inputs().len(), n.dffs().len());
+        assert_eq!(u.frames(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frames")]
+    fn zero_frames_panics() {
+        let n = shift_reg();
+        let _ = UnrolledNetlist::new(&n, 0);
+    }
+}

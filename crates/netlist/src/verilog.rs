@@ -1,0 +1,490 @@
+//! Structural Verilog export and import.
+//!
+//! [`to_verilog`] renders a netlist as a flat structural Verilog module —
+//! primitive gate instances, a ternary `assign` per mux, one clocked
+//! `always` block per flip-flop — so the elaborated security logic can be
+//! inspected, synthesized or formally compared with external EDA tools.
+//! [`from_verilog`] parses the same subset back, which gives the test suite
+//! a behavioral round-trip check.
+//!
+//! The subset is deliberately small: one module, `input`/`output`/`wire`
+//! declarations, gate primitives (`buf not and or nand nor xor xnor`),
+//! `assign w = s ? a : b;`, `assign w = 1'b0;`, and
+//! `always @(posedge clk) q <= d;`.
+
+use crate::cell::CellKind;
+use crate::netlist::{GateId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from [`from_verilog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+/// Make a netlist signal name a legal Verilog identifier.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '$' => out.push(ch),
+            '[' => out.push('_'),
+            ']' => {}
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+/// The Verilog signal name of a gate's output net.
+fn net_name(netlist: &Netlist, id: GateId) -> String {
+    match netlist.name_of(id) {
+        Some(name) => sanitize(name),
+        None => format!("n{}", id.0),
+    }
+}
+
+/// Render `netlist` as a structural Verilog module named `module_name`.
+///
+/// Output markers become module outputs driven by continuous assignments;
+/// flip-flops clock on `posedge clk`.
+pub fn to_verilog(netlist: &Netlist, module_name: &str) -> String {
+    let mut s = String::new();
+    let name = |id: GateId| net_name(netlist, id);
+
+    // Ports.
+    let mut ports: Vec<String> = vec!["clk".into()];
+    ports.extend(netlist.inputs().iter().map(|&i| name(i)));
+    ports.extend(netlist.outputs().iter().map(|&o| name(o)));
+    let _ = writeln!(s, "module {module_name} (");
+    let _ = writeln!(s, "  {}", ports.join(",\n  "));
+    let _ = writeln!(s, ");");
+    let _ = writeln!(s, "  input clk;");
+    for &i in netlist.inputs() {
+        let _ = writeln!(s, "  input {};", name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(s, "  output {};", name(o));
+    }
+
+    // Internal wires and registers.
+    for (id, gate) in netlist.iter() {
+        match gate.kind {
+            CellKind::Input | CellKind::Output => {}
+            CellKind::Dff => {
+                let _ = writeln!(s, "  reg {};", name(id));
+            }
+            _ => {
+                let _ = writeln!(s, "  wire {};", name(id));
+            }
+        }
+    }
+    let _ = writeln!(s);
+
+    // Logic.
+    for (id, gate) in netlist.iter() {
+        let out = name(id);
+        let ins: Vec<String> = gate.fanin.iter().map(|&f| name(f)).collect();
+        match gate.kind {
+            CellKind::Input => {}
+            CellKind::Const(v) => {
+                let _ = writeln!(s, "  assign {out} = 1'b{};", u8::from(v));
+            }
+            CellKind::Buf => {
+                let _ = writeln!(s, "  buf g{} ({out}, {});", id.0, ins[0]);
+            }
+            CellKind::Not => {
+                let _ = writeln!(s, "  not g{} ({out}, {});", id.0, ins[0]);
+            }
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Nand
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor => {
+                let prim = gate.kind.to_string();
+                let _ = writeln!(s, "  {prim} g{} ({out}, {});", id.0, ins.join(", "));
+            }
+            CellKind::Mux => {
+                let _ = writeln!(
+                    s,
+                    "  assign {out} = {} ? {} : {};",
+                    ins[0], ins[2], ins[1]
+                );
+            }
+            CellKind::Dff => {
+                let _ = writeln!(s, "  always @(posedge clk) {out} <= {};", ins[0]);
+            }
+            CellKind::Output => {
+                let _ = writeln!(s, "  assign {out} = {};", ins[0]);
+            }
+        }
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Parse the structural subset emitted by [`to_verilog`].
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on anything outside the supported subset,
+/// undeclared signals, or missing drivers.
+pub fn from_verilog(source: &str) -> Result<Netlist, ParseVerilogError> {
+    enum Pending {
+        Prim(CellKind, Vec<String>),
+        Mux(String, String, String),
+        ConstV(bool),
+        Dff(String),
+        OutAssign(String),
+    }
+    let err = |line: usize, message: String| ParseVerilogError { line, message };
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut pending: Vec<(usize, String, Pending)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim().trim_end_matches(';').trim();
+        if text.is_empty()
+            || text.starts_with("module")
+            || text.starts_with(')')
+            || text.starts_with("endmodule")
+            || text.starts_with("//")
+            || text.starts_with("wire ")
+            || text.starts_with("reg ")
+            || !raw.contains(';')
+        {
+            // Declarations of wires/regs are reconstructed from drivers;
+            // port-list lines carry no structure.
+            if let Some(rest) = text.strip_prefix("input ") {
+                let name = rest.trim();
+                if name != "clk" {
+                    inputs.push(name.to_owned());
+                }
+            } else if let Some(rest) = text.strip_prefix("output ") {
+                outputs.push(rest.trim().to_owned());
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("input ") {
+            let name = rest.trim();
+            if name != "clk" {
+                inputs.push(name.to_owned());
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("output ") {
+            outputs.push(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("assign ") {
+            let (lhs, rhs) = rest
+                .split_once('=')
+                .ok_or_else(|| err(line, format!("malformed assign `{text}`")))?;
+            let lhs = lhs.trim().to_owned();
+            let rhs = rhs.trim();
+            if let Some(v) = rhs.strip_prefix("1'b") {
+                let value = v.trim() == "1";
+                pending.push((line, lhs, Pending::ConstV(value)));
+            } else if rhs.contains('?') {
+                let (sel, arms) = rhs
+                    .split_once('?')
+                    .ok_or_else(|| err(line, "malformed mux".into()))?;
+                let (b, a) = arms
+                    .split_once(':')
+                    .ok_or_else(|| err(line, "malformed mux arms".into()))?;
+                pending.push((
+                    line,
+                    lhs,
+                    Pending::Mux(
+                        sel.trim().to_owned(),
+                        a.trim().to_owned(),
+                        b.trim().to_owned(),
+                    ),
+                ));
+            } else {
+                pending.push((line, lhs, Pending::OutAssign(rhs.to_owned())));
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("always @(posedge clk)") {
+            let (q, d) = rest
+                .split_once("<=")
+                .ok_or_else(|| err(line, format!("malformed always `{text}`")))?;
+            pending.push((
+                line,
+                q.trim().to_owned(),
+                Pending::Dff(d.trim().to_owned()),
+            ));
+            continue;
+        }
+        // Primitive instance: `<prim> <inst> (out, in...)`.
+        let mut parts = text.splitn(2, char::is_whitespace);
+        let prim = parts.next().unwrap_or_default();
+        let kind = match prim {
+            "buf" => CellKind::Buf,
+            "not" => CellKind::Not,
+            "and" => CellKind::And,
+            "or" => CellKind::Or,
+            "nand" => CellKind::Nand,
+            "nor" => CellKind::Nor,
+            "xor" => CellKind::Xor,
+            "xnor" => CellKind::Xnor,
+            other => return Err(err(line, format!("unsupported statement `{other}`"))),
+        };
+        let rest = parts.next().unwrap_or_default();
+        let open = rest
+            .find('(')
+            .ok_or_else(|| err(line, "missing port list".into()))?;
+        let close = rest
+            .rfind(')')
+            .ok_or_else(|| err(line, "missing `)`".into()))?;
+        let nets: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|n| n.trim().to_owned())
+            .collect();
+        if nets.len() < 2 {
+            return Err(err(line, "primitive needs an output and inputs".into()));
+        }
+        let out = nets[0].clone();
+        pending.push((line, out, Pending::Prim(kind, nets[1..].to_vec())));
+    }
+
+    // Pass 2: materialize. Inputs first, then drivers in dependency-free
+    // order via placeholder patching (DFFs and forward refs are legal).
+    let mut n = Netlist::new();
+    let mut ids: HashMap<String, GateId> = HashMap::new();
+    for name in &inputs {
+        ids.insert(name.clone(), n.add_input(name.clone()));
+    }
+    // Create one node per driven signal with placeholder fanins.
+    for (line, lhs, p) in &pending {
+        if ids.contains_key(lhs) {
+            return Err(err(*line, format!("signal `{lhs}` driven twice")));
+        }
+        let placeholder: Vec<GateId> = Vec::new();
+        let id = match p {
+            Pending::ConstV(v) => n.add_const(*v),
+            Pending::Dff(_) => {
+                let tmp = n.add_const(false);
+                n.add_dff(lhs.clone(), tmp)
+            }
+            Pending::Prim(kind, ins) => {
+                let tmp: Vec<GateId> = ins.iter().map(|_| n.add_const(false)).collect();
+                if outputs.contains(lhs) {
+                    // An output driven directly by a primitive (not emitted
+                    // by `to_verilog`, but accept it).
+                    n.add_named_gate(format!("{lhs}__drv"), *kind, &tmp)
+                } else {
+                    n.add_named_gate(lhs.clone(), *kind, &tmp)
+                }
+            }
+            Pending::Mux(_, _, _) => {
+                let tmp: Vec<GateId> =
+                    (0..3).map(|_| n.add_const(false)).collect();
+                n.add_named_gate(lhs.clone(), CellKind::Mux, &tmp)
+            }
+            Pending::OutAssign(_) => {
+                let tmp = n.add_const(false);
+                if outputs.contains(lhs) {
+                    n.add_output(lhs.clone(), tmp)
+                } else {
+                    n.add_named_gate(lhs.clone(), CellKind::Buf, &[tmp])
+                }
+            }
+        };
+        let _ = placeholder;
+        ids.insert(lhs.clone(), id);
+    }
+    // Patch real fanins.
+    let resolve = |ids: &HashMap<String, GateId>, line: usize, name: &str| {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undriven signal `{name}`")))
+    };
+    for (line, lhs, p) in &pending {
+        let id = ids[lhs];
+        let fanin: Vec<GateId> = match p {
+            Pending::ConstV(_) => continue,
+            Pending::Dff(d) => vec![resolve(&ids, *line, d)?],
+            Pending::Prim(_, ins) => ins
+                .iter()
+                .map(|i| resolve(&ids, *line, i))
+                .collect::<Result<_, _>>()?,
+            Pending::Mux(sel, a, b) => vec![
+                resolve(&ids, *line, sel)?,
+                resolve(&ids, *line, a)?,
+                resolve(&ids, *line, b)?,
+            ],
+            Pending::OutAssign(src) => vec![resolve(&ids, *line, src)?],
+        };
+        n.set_fanin(id, fanin);
+    }
+    n.validate()
+        .map_err(|e| err(0, format!("reconstructed netlist invalid: {e}")))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BusBuilder;
+    use crate::topo::Topology;
+
+    fn demo_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        let a = b.input_bus("a", 4);
+        let c = b.const_bus(0x9, 4);
+        let ge = b.uge(&a, &c);
+        let en = b.netlist().add_input("en");
+        let q = b.dff_bus_en("state", &[ge], en);
+        let inv = b.netlist().add_gate(CellKind::Not, &[q[0]]);
+        let m = b.netlist().add_gate(CellKind::Mux, &[en, q[0], inv]);
+        b.netlist().add_output("y", m);
+        n
+    }
+
+    /// Simulate a sequential netlist for a few cycles with named inputs.
+    fn simulate(netlist: &Netlist, cycles: usize, stim: impl Fn(usize, &str) -> bool) -> Vec<Vec<bool>> {
+        let topo = Topology::new(netlist).unwrap();
+        let mut state: HashMap<GateId, bool> =
+            netlist.dffs().iter().map(|&d| (d, false)).collect();
+        let mut outs = Vec::new();
+        for c in 0..cycles {
+            let mut values = vec![false; netlist.len()];
+            for (id, gate) in netlist.iter() {
+                match gate.kind {
+                    CellKind::Input => {
+                        values[id.index()] = stim(c, gate.name.as_deref().unwrap())
+                    }
+                    CellKind::Const(v) => values[id.index()] = v,
+                    CellKind::Dff => values[id.index()] = state[&id],
+                    _ => {}
+                }
+            }
+            for &id in topo.order() {
+                let gate = netlist.gate(id);
+                let ins: Vec<bool> =
+                    gate.fanin.iter().map(|f| values[f.index()]).collect();
+                values[id.index()] = gate.kind.eval(&ins);
+            }
+            outs.push(
+                netlist
+                    .outputs()
+                    .iter()
+                    .map(|&o| values[o.index()])
+                    .collect(),
+            );
+            for &d in netlist.dffs() {
+                state.insert(d, values[netlist.gate(d).fanin[0].index()]);
+            }
+        }
+        outs
+    }
+
+    #[test]
+    fn export_mentions_all_structure() {
+        let n = demo_netlist();
+        let v = to_verilog(&n, "demo");
+        assert!(v.contains("module demo"));
+        assert!(v.contains("input a_0;"));
+        assert!(v.contains("output y;"));
+        assert!(v.contains("reg state_0;"));
+        assert!(v.contains("always @(posedge clk) state_0 <="));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_behavior() {
+        let original = demo_netlist();
+        let text = to_verilog(&original, "demo");
+        let parsed = from_verilog(&text).unwrap();
+        assert_eq!(parsed.validate(), Ok(()));
+        assert_eq!(parsed.inputs().len(), original.inputs().len());
+        assert_eq!(parsed.outputs().len(), original.outputs().len());
+        assert_eq!(parsed.dffs().len(), original.dffs().len());
+
+        // Behavioral equivalence over a deterministic stimulus. The parsed
+        // netlist's input names are the sanitized originals.
+        let stim = |c: usize, name: &str| {
+            let h = name.bytes().map(usize::from).sum::<usize>();
+            (c * 7 + h).is_multiple_of(3)
+        };
+        let a = simulate(&original, 24, |c, name| stim(c, &sanitize(name)));
+        let b = simulate(&parsed, 24, stim);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_reject_garbage() {
+        // The parser is line-oriented, like the emitter.
+        let bad = "module m (a);
+  input a;
+  frobnicate q (a, a);
+endmodule";
+        assert!(from_verilog(bad).is_err());
+        let undriven = "module m (y);\n  output y;\n  assign y = nope;\nendmodule";
+        assert!(from_verilog(undriven).is_err());
+    }
+
+    #[test]
+    fn double_driver_is_rejected() {
+        let src = "module m (a, y);\n  input a;\n  output y;\n  wire w;\n  \
+                   buf g0 (w, a);\n  not g1 (w, a);\n  assign y = w;\nendmodule";
+        let e = from_verilog(src).unwrap_err();
+        assert!(e.message.contains("driven twice"));
+    }
+
+    #[test]
+    fn sanitize_makes_legal_identifiers() {
+        assert_eq!(sanitize("addr[3]"), "addr_3");
+        assert_eq!(sanitize("cfg_base0[15]"), "cfg_base0_15");
+        assert_eq!(sanitize("9lives"), "n9lives");
+        assert_eq!(sanitize("a b"), "a_b");
+    }
+
+    #[test]
+    fn mpu_scale_netlist_roundtrips() {
+        // A larger structure: 16-bit comparator bank similar to one MPU
+        // region check.
+        let mut n = Netlist::new();
+        let mut b = BusBuilder::new(&mut n);
+        let addr = b.input_bus("addr", 16);
+        let base = b.input_bus("base", 16);
+        let limit = b.input_bus("limit", 16);
+        let ge = b.uge(&addr, &base);
+        let le = b.ule(&addr, &limit);
+        let hit = b.netlist().add_gate(CellKind::And, &[ge, le]);
+        let q = b.netlist().add_dff("hit_q", hit);
+        b.netlist().add_output("hit", q);
+
+        let text = to_verilog(&n, "region_check");
+        let parsed = from_verilog(&text).unwrap();
+        let stim = |c: usize, name: &str| {
+            let h = name.bytes().map(usize::from).sum::<usize>();
+            (c.wrapping_mul(31) ^ h) % 5 < 2
+        };
+        let a = simulate(&n, 40, |c, name| stim(c, &sanitize(name)));
+        let p = simulate(&parsed, 40, stim);
+        assert_eq!(a, p);
+    }
+}

@@ -1,0 +1,472 @@
+//! A small two-pass assembler for the `xlmc` ISA.
+//!
+//! The benchmark workloads (paper §6: "the benchmark we use ... includes
+//! illegal memory write and read operations") are written in this assembly
+//! dialect and assembled to memory images at build time.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment            # comment
+//! label:
+//!     li    r1, 0x8100
+//!     addi  r2, r2, -1
+//!     lw    r3, 8(r2)
+//!     sw    r3, -4(r2)
+//!     beq   r1, r2, label
+//!     jal   r1, label
+//!     csrrw r1, tvec, r2
+//!     ecall
+//!     .word 0xdeadbeef
+//! ```
+//!
+//! Branch and jump targets may be labels (PC-relative offsets are computed)
+//! or literal numeric offsets.
+
+use crate::isa::{imm_in_range, Csr, Instr, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The output of [`assemble`]: a word image plus the resolved label map.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction/data words, loaded from address 0.
+    pub words: Vec<u32>,
+    /// Label name to byte address.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// The byte address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Size of the image in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+}
+
+enum Item {
+    Instr { line: usize, text: String },
+    Word(u32),
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find([';', '#'])
+        .unwrap_or(line.len());
+    line[..end].trim()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let err = || AsmError {
+        line,
+        message: format!("expected register, got `{t}`"),
+    };
+    let num = t.strip_prefix('r').ok_or_else(err)?;
+    let n: u8 = num.parse().map_err(|_| err())?;
+    if n > 15 {
+        return Err(err());
+    }
+    Ok(Reg(n))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        line,
+        message: format!("expected integer, got `{tok}`"),
+    })?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_csr(tok: &str, line: usize) -> Result<Csr, AsmError> {
+    match tok.trim().to_ascii_lowercase().as_str() {
+        "status" => Ok(Csr::Status),
+        "epc" => Ok(Csr::Epc),
+        "cause" => Ok(Csr::Cause),
+        "tvec" => Ok(Csr::Tvec),
+        "isolated" => Ok(Csr::Isolated),
+        "scratch" => Ok(Csr::Scratch),
+        other => Err(AsmError {
+            line,
+            message: format!("unknown csr `{other}`"),
+        }),
+    }
+}
+
+/// Parse `imm(reg)` memory operands.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected `imm(reg)`, got `{t}`"),
+    })?;
+    if !t.ends_with(')') {
+        return Err(AsmError {
+            line,
+            message: format!("expected `imm(reg)`, got `{t}`"),
+        });
+    }
+    let imm = if open == 0 { 0 } else { parse_int(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((imm, reg))
+}
+
+fn check_imm(imm: i64, line: usize) -> Result<i32, AsmError> {
+    let v = i32::try_from(imm).ok().filter(|&v| imm_in_range(v));
+    v.ok_or_else(|| AsmError {
+        line,
+        message: format!("immediate {imm} out of 18-bit signed range"),
+    })
+}
+
+/// Resolve a token as either a label (PC-relative offset) or a literal.
+fn branch_target(
+    tok: &str,
+    labels: &HashMap<String, u32>,
+    pc: u32,
+    line: usize,
+) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    if let Some(&addr) = labels.get(t) {
+        return check_imm(i64::from(addr) - i64::from(pc), line);
+    }
+    check_imm(parse_int(t, line)?, line)
+}
+
+/// Assemble a source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: bad mnemonics, malformed
+/// operands, duplicate or unknown labels, out-of-range immediates.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels and items.
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line = i + 1;
+        let mut text = strip_comment(raw);
+        // Multiple labels may precede an instruction on the same line.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError {
+                    line,
+                    message: format!("malformed label `{label}`"),
+                });
+            }
+            let addr = (items.len() * 4) as u32;
+            if labels.insert(label.to_owned(), addr).is_some() {
+                return Err(AsmError {
+                    line,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".word") {
+            let v = parse_int(rest, line)?;
+            items.push(Item::Word(v as u32));
+        } else {
+            items.push(Item::Instr {
+                line,
+                text: text.to_owned(),
+            });
+        }
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::with_capacity(items.len());
+    for (idx, item) in items.iter().enumerate() {
+        let pc = (idx * 4) as u32;
+        match item {
+            Item::Word(w) => words.push(*w),
+            Item::Instr { line, text } => {
+                let line = *line;
+                let (mnemonic, rest) = text
+                    .split_once(char::is_whitespace)
+                    .unwrap_or((text.as_str(), ""));
+                let ops: Vec<&str> = if rest.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    rest.split(',').map(str::trim).collect()
+                };
+                let need = |n: usize| -> Result<(), AsmError> {
+                    if ops.len() == n {
+                        Ok(())
+                    } else {
+                        Err(AsmError {
+                            line,
+                            message: format!(
+                                "`{mnemonic}` expects {n} operands, got {}",
+                                ops.len()
+                            ),
+                        })
+                    }
+                };
+                let instr = match mnemonic.to_ascii_lowercase().as_str() {
+                    m @ ("add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sltu") => {
+                        need(3)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let a = parse_reg(ops[1], line)?;
+                        let b = parse_reg(ops[2], line)?;
+                        match m {
+                            "add" => Instr::Add(d, a, b),
+                            "sub" => Instr::Sub(d, a, b),
+                            "and" => Instr::And(d, a, b),
+                            "or" => Instr::Or(d, a, b),
+                            "xor" => Instr::Xor(d, a, b),
+                            "sll" => Instr::Sll(d, a, b),
+                            "srl" => Instr::Srl(d, a, b),
+                            _ => Instr::Sltu(d, a, b),
+                        }
+                    }
+                    m @ ("addi" | "andi" | "ori" | "xori") => {
+                        need(3)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let a = parse_reg(ops[1], line)?;
+                        let imm = check_imm(parse_int(ops[2], line)?, line)?;
+                        match m {
+                            "addi" => Instr::Addi(d, a, imm),
+                            "andi" => Instr::Andi(d, a, imm),
+                            "ori" => Instr::Ori(d, a, imm),
+                            _ => Instr::Xori(d, a, imm),
+                        }
+                    }
+                    "li" => {
+                        need(2)?;
+                        let d = parse_reg(ops[0], line)?;
+                        // A label operand loads its absolute byte address.
+                        let imm = if let Some(&addr) = labels.get(ops[1].trim()) {
+                            check_imm(i64::from(addr), line)?
+                        } else {
+                            check_imm(parse_int(ops[1], line)?, line)?
+                        };
+                        Instr::Li(d, imm)
+                    }
+                    "lw" => {
+                        need(2)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let (imm, base) = parse_mem(ops[1], line)?;
+                        Instr::Lw(d, base, check_imm(imm, line)?)
+                    }
+                    "sw" => {
+                        need(2)?;
+                        let s = parse_reg(ops[0], line)?;
+                        let (imm, base) = parse_mem(ops[1], line)?;
+                        Instr::Sw(s, base, check_imm(imm, line)?)
+                    }
+                    m @ ("beq" | "bne" | "bltu") => {
+                        need(3)?;
+                        let a = parse_reg(ops[0], line)?;
+                        let b = parse_reg(ops[1], line)?;
+                        let off = branch_target(ops[2], &labels, pc, line)?;
+                        match m {
+                            "beq" => Instr::Beq(a, b, off),
+                            "bne" => Instr::Bne(a, b, off),
+                            _ => Instr::Bltu(a, b, off),
+                        }
+                    }
+                    "jal" => {
+                        need(2)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let off = branch_target(ops[1], &labels, pc, line)?;
+                        Instr::Jal(d, off)
+                    }
+                    "jalr" => {
+                        need(2)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let (imm, base) = parse_mem(ops[1], line)?;
+                        Instr::Jalr(d, base, check_imm(imm, line)?)
+                    }
+                    "csrrw" => {
+                        need(3)?;
+                        let d = parse_reg(ops[0], line)?;
+                        let csr = parse_csr(ops[1], line)?;
+                        let s = parse_reg(ops[2], line)?;
+                        Instr::Csrrw(d, csr, s)
+                    }
+                    "ecall" => {
+                        need(0)?;
+                        Instr::Ecall
+                    }
+                    "mret" => {
+                        need(0)?;
+                        Instr::Mret
+                    }
+                    "halt" => {
+                        need(0)?;
+                        Instr::Halt
+                    }
+                    "nop" => {
+                        need(0)?;
+                        Instr::Nop
+                    }
+                    other => {
+                        return Err(AsmError {
+                            line,
+                            message: format!("unknown mnemonic `{other}`"),
+                        })
+                    }
+                };
+                words.push(instr.encode());
+            }
+        }
+    }
+    Ok(Program { words, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            ; setup
+            li   r1, 0x40     # hex immediate
+            li   r2, 10
+        loop:
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.words.len(), 5);
+        assert_eq!(p.label("loop"), Some(8));
+        assert_eq!(
+            Instr::decode(p.words[0]).unwrap(),
+            Instr::Li(Reg(1), 0x40)
+        );
+        // bne at pc=12, target 8 -> offset -4.
+        assert_eq!(
+            Instr::decode(p.words[3]).unwrap(),
+            Instr::Bne(Reg(2), Reg(0), -4)
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("lw r1, 8(r2)\nsw r3, -4(r2)\nlw r4, (r5)").unwrap();
+        assert_eq!(
+            Instr::decode(p.words[0]).unwrap(),
+            Instr::Lw(Reg(1), Reg(2), 8)
+        );
+        assert_eq!(
+            Instr::decode(p.words[1]).unwrap(),
+            Instr::Sw(Reg(3), Reg(2), -4)
+        );
+        assert_eq!(
+            Instr::decode(p.words[2]).unwrap(),
+            Instr::Lw(Reg(4), Reg(5), 0)
+        );
+    }
+
+    #[test]
+    fn csr_and_system_instructions() {
+        let p = assemble("csrrw r1, tvec, r2\necall\nmret\nhalt\nnop").unwrap();
+        assert_eq!(
+            Instr::decode(p.words[0]).unwrap(),
+            Instr::Csrrw(Reg(1), Csr::Tvec, Reg(2))
+        );
+        assert_eq!(Instr::decode(p.words[1]).unwrap(), Instr::Ecall);
+        assert_eq!(Instr::decode(p.words[2]).unwrap(), Instr::Mret);
+        assert_eq!(Instr::decode(p.words[3]).unwrap(), Instr::Halt);
+        assert_eq!(Instr::decode(p.words[4]).unwrap(), Instr::Nop);
+    }
+
+    #[test]
+    fn word_directive_and_labels() {
+        let p = assemble("data: .word 0xdeadbeef\n.word 42").unwrap();
+        assert_eq!(p.words, vec![0xdeadbeef, 42]);
+        assert_eq!(p.label("data"), Some(0));
+        assert_eq!(p.size_bytes(), 8);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("jal r0, end\nnop\nend: halt").unwrap();
+        assert_eq!(Instr::decode(p.words[0]).unwrap(), Instr::Jal(Reg(0), 8));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("a: nop\na: nop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let e = assemble("frobnicate r1, r2").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_is_error() {
+        assert!(assemble("add r1, r2, r16").is_err());
+        assert!(assemble("add r1, r2, x3").is_err());
+    }
+
+    #[test]
+    fn oversized_immediate_is_error() {
+        let e = assemble("li r1, 0x40000").unwrap_err();
+        assert!(e.message.contains("out of"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_error() {
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn li_accepts_label_addresses() {
+        let p = assemble("nop\nnop\ntarget: halt\nli r1, target").unwrap();
+        assert_eq!(Instr::decode(p.words[3]).unwrap(), Instr::Li(Reg(1), 8));
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let p = assemble("start: li r1, 1\njal r0, start").unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(Instr::decode(p.words[1]).unwrap(), Instr::Jal(Reg(0), -4));
+    }
+}

@@ -1,0 +1,258 @@
+//! The RTL-level golden run: checkpoints, traces and per-cycle MPU stimulus.
+//!
+//! Paper §5.1: "Before the fault attack run, a complete run of the benchmark
+//! is performed, termed as the golden run. During the golden run, golden
+//! checkpoints are dumped at intermediate points." The golden run also
+//! records everything the pre-characterization and the fault-attack runs
+//! need to replay any cycle:
+//!
+//! * full-system checkpoints every `interval` cycles (restart points),
+//! * the MPU register state at the start of every cycle,
+//! * the request/config-write stimulus the MPU saw in every cycle (the
+//!   gate-level netlist's primary-input values for that cycle),
+//! * the resolved data-access trace (for the analytical evaluation), and
+//! * the cycles where the combinational violation fired.
+
+use crate::mpu::{AccessReq, CfgWrite, MpuState};
+use crate::soc::{AccessRecord, Soc};
+use serde::{Deserialize, Serialize};
+
+/// Per-cycle stimulus seen by the MPU (drives the gate-level netlist).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleStimulus {
+    /// The request issued this cycle (latched into the MPU pipeline at the
+    /// end of the cycle).
+    pub request: Option<AccessReq>,
+    /// The configuration write committed this cycle.
+    pub cfg_write: Option<CfgWrite>,
+    /// Whether the combinational violation signal fired this cycle.
+    pub viol_comb: bool,
+}
+
+/// The recorded golden run of one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldenRun {
+    /// Cycles between checkpoints.
+    pub interval: u64,
+    /// Checkpoints: `checkpoints[k]` is the state *at the start of* cycle
+    /// `k * interval`.
+    pub checkpoints: Vec<Soc>,
+    /// The MPU register state at the start of every cycle.
+    pub mpu_states: Vec<MpuState>,
+    /// Per-cycle MPU stimulus.
+    pub stimulus: Vec<CycleStimulus>,
+    /// Every resolved data access.
+    pub access_trace: Vec<AccessRecord>,
+    /// Cycles where the combinational violation fired.
+    pub violation_cycles: Vec<u64>,
+    /// Cycles where the core entered the trap handler.
+    pub trap_cycles: Vec<u64>,
+    /// The system state after the run ended.
+    pub final_soc: Soc,
+    /// Number of cycles executed (halt or the cap).
+    pub cycles: u64,
+}
+
+impl GoldenRun {
+    /// Record the golden run of `program` (capped at `max_cycles`),
+    /// checkpointing every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero or the program does not fit in RAM.
+    pub fn record(program: &[u32], max_cycles: u64, interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let mut soc = Soc::new(program);
+        let mut run = GoldenRun {
+            interval,
+            checkpoints: Vec::new(),
+            mpu_states: Vec::new(),
+            stimulus: Vec::new(),
+            access_trace: Vec::new(),
+            violation_cycles: Vec::new(),
+            trap_cycles: Vec::new(),
+            final_soc: soc.clone(),
+            cycles: 0,
+        };
+        while !soc.halted() && soc.cycle < max_cycles {
+            if soc.cycle.is_multiple_of(interval) {
+                run.checkpoints.push(soc.clone());
+            }
+            run.mpu_states.push(soc.mpu);
+            let cycle = soc.cycle;
+            let ev = soc.step();
+            run.stimulus.push(CycleStimulus {
+                request: ev.issued.map(|(_, r)| r),
+                cfg_write: ev.cfg_write,
+                viol_comb: ev.viol_comb,
+            });
+            if let Some(rec) = ev.resolved {
+                run.access_trace.push(rec);
+            }
+            if ev.viol_comb {
+                run.violation_cycles.push(cycle);
+            }
+            if ev.trapped {
+                run.trap_cycles.push(cycle);
+            }
+        }
+        run.cycles = soc.cycle;
+        run.final_soc = soc;
+        run
+    }
+
+    /// The latest checkpoint at or before `cycle`, for fault-run restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no checkpoint exists (empty run).
+    pub fn nearest_checkpoint(&self, cycle: u64) -> &Soc {
+        let idx = (cycle / self.interval) as usize;
+        let idx = idx.min(self.checkpoints.len().saturating_sub(1));
+        &self.checkpoints[idx]
+    }
+
+    /// The first cycle where the combinational violation fired — for the
+    /// attack workloads this is the target cycle `T_t` where the security
+    /// mechanism catches the malicious operation.
+    pub fn first_violation_cycle(&self) -> Option<u64> {
+        self.violation_cycles.first().copied()
+    }
+
+    /// Whether the given cycle index was recorded.
+    pub fn has_cycle(&self, cycle: u64) -> bool {
+        cycle < self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn golden(src: &str) -> GoldenRun {
+        GoldenRun::record(&assemble(src).unwrap().words, 5_000, 16)
+    }
+
+    #[test]
+    fn records_cycles_and_checkpoints() {
+        let run = golden(
+            "
+            li r1, 50
+            li r2, 0
+        loop:
+            addi r2, r2, 1
+            bne r2, r1, loop
+            halt
+            ",
+        );
+        assert!(run.cycles > 100);
+        assert_eq!(run.mpu_states.len() as u64, run.cycles);
+        assert_eq!(run.stimulus.len() as u64, run.cycles);
+        assert_eq!(run.checkpoints.len() as u64, run.cycles.div_ceil(16));
+        assert!(run.final_soc.halted());
+    }
+
+    #[test]
+    fn nearest_checkpoint_is_at_or_before() {
+        let run = golden(
+            "
+            li r1, 100
+            li r2, 0
+        loop:
+            addi r2, r2, 1
+            bne r2, r1, loop
+            halt
+            ",
+        );
+        for cycle in [0u64, 1, 15, 16, 17, 100] {
+            let ck = run.nearest_checkpoint(cycle);
+            assert!(ck.cycle <= cycle);
+            assert!(cycle - ck.cycle < 2 * run.interval);
+        }
+    }
+
+    #[test]
+    fn replay_from_checkpoint_matches_golden_tail() {
+        let src = "
+            li r1, 60
+            li r2, 0
+        loop:
+            addi r2, r2, 1
+            sw r2, 0x4000(r0)
+            bne r2, r1, loop
+            halt
+            ";
+        let run = golden(src);
+        let mut replay = run.nearest_checkpoint(40).clone();
+        while !replay.halted() {
+            replay.step();
+        }
+        assert_eq!(replay, run.final_soc);
+    }
+
+    #[test]
+    fn violation_cycle_recorded_for_illegal_access() {
+        let run = golden(
+            "
+            li r1, 0x8100
+            li r2, 0
+            sw r2, 0(r1)
+            li r2, 0x5fff
+            sw r2, 4(r1)
+            li r2, 0xf
+            sw r2, 8(r1)
+            li r2, 1
+            sw r2, 0x30(r1)
+            li r3, handler
+            csrrw r0, tvec, r3
+            li r4, user
+            csrrw r0, epc, r4
+            mret
+        user:
+            li r5, 0x7000
+            sw r0, 0(r5)
+            nop
+            nop
+            nop
+            halt
+        handler:
+            li r7, 1
+            csrrw r0, isolated, r7
+            halt
+            ",
+        );
+        let tt = run.first_violation_cycle().expect("violation must fire");
+        assert!(run.trap_cycles.iter().any(|&c| c == tt + 1));
+        assert!(!run.access_trace.is_empty());
+        let blocked: Vec<_> = run.access_trace.iter().filter(|a| !a.allowed).collect();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].req.addr, 0x7000);
+    }
+
+    #[test]
+    fn mpu_state_trace_is_consistent_with_stimulus() {
+        // Replaying the recorded stimulus through a fresh MpuState must
+        // reproduce the recorded per-cycle MPU states.
+        let run = golden(
+            "
+            li r1, 0x8100
+            li r2, 0x1234
+            sw r2, 0(r1)
+            li r2, 20
+            li r3, 0
+        loop:
+            addi r3, r3, 1
+            sw r3, 0x4000(r0)
+            bne r3, r2, loop
+            halt
+            ",
+        );
+        let mut mpu = MpuState::default();
+        for c in 0..run.cycles as usize {
+            assert_eq!(mpu, run.mpu_states[c], "cycle {c}");
+            assert_eq!(mpu.viol_comb(), run.stimulus[c].viol_comb, "cycle {c}");
+            mpu.step(run.stimulus[c].request, run.stimulus[c].cfg_write);
+        }
+    }
+}

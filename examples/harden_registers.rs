@@ -1,0 +1,86 @@
+//! Countermeasure evaluation: find the security-critical registers and
+//! measure what hardening them buys.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p xlmc --example harden_registers
+//! ```
+//!
+//! This is the paper's third design-support use case: "evaluate and compare
+//! the effectiveness of different countermeasures and guide further design
+//! optimization". The example sweeps the hardened-register budget (1%, 3%,
+//! 10% of registers) and reports the SSF reduction against the area cost of
+//! each choice, using built-in soft-error-resilient flip-flops (10x
+//! resilience at 3x cell area, paper refs [19, 20]).
+
+use xlmc::estimator::run_campaign;
+use xlmc::flow::FaultRunner;
+use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
+use xlmc::sampling::{baseline_distribution, ExperimentConfig, ImportanceSampling};
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_soc::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SystemModel::with_defaults()?;
+    let eval = Evaluation::new(workloads::illegal_write())?;
+    let cfg = ExperimentConfig::default();
+    let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+    let f = baseline_distribution(&model, &cfg);
+    let strategy = ImportanceSampling::new(
+        f,
+        &model,
+        &prechar,
+        cfg.alpha,
+        cfg.beta,
+        cfg.radius_options.clone(),
+    );
+
+    // Baseline campaign: SSF plus the per-register attribution that tells
+    // us where the vulnerability actually lives.
+    let runner = FaultRunner {
+        model: &model,
+        eval: &eval,
+        prechar: &prechar,
+        hardening: None,
+    };
+    let n = 6_000;
+    let baseline = run_campaign(&runner, &strategy, n, 7);
+    println!("baseline SSF = {:.5}\n", baseline.ssf);
+
+    let total_regs = model.mpu.netlist().dffs().len();
+    println!(
+        "{:>8}  {:>10}  {:>9}  {:>10}  {:>9}  {:>9}",
+        "budget", "registers", "coverage", "SSF", "reduction", "area"
+    );
+    for fraction in [0.01, 0.03, 0.10] {
+        let (bits, coverage) =
+            select_top_registers(&baseline.attribution, total_regs, fraction);
+        let hardened = HardenedSet::new(bits.clone(), HardeningModel::default());
+        let overhead = hardened.area_overhead(&model);
+        let hardened_runner = FaultRunner {
+            hardening: Some(&hardened),
+            ..runner
+        };
+        let after = run_campaign(&hardened_runner, &strategy, n, 8);
+        let reduction = if after.ssf > 0.0 {
+            format!("{:.1}x", baseline.ssf / after.ssf)
+        } else {
+            ">measurable".into()
+        };
+        println!(
+            "{:>7.0}%  {:>10}  {:>8.1}%  {:>10.5}  {:>9}  {:>8.2}%",
+            fraction * 100.0,
+            bits.len(),
+            coverage * 100.0,
+            after.ssf,
+            reduction,
+            overhead * 100.0,
+        );
+    }
+    println!(
+        "\npaper: hardening the top 3% of registers cuts SSF by up to 6.5x \
+         at under 2% MPU area overhead"
+    );
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! A full attack campaign, narrated: watch single fault injections travel
+//! through the cross-level flow.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p xlmc --example mpu_attack_campaign
+//! ```
+//!
+//! Where `quickstart` aggregates thousands of runs into one SSF number,
+//! this example walks through a handful of hand-picked attacks and prints
+//! what the flow does with each: the injection cycle, the latched error
+//! pattern, the classification, the evaluation path, and the outcome. It
+//! then verifies one successful attack by replaying it at RTL level and
+//! inspecting the final architectural state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::ExperimentConfig;
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_fault::AttackSample;
+use xlmc_soc::workloads::{self, ATTACK_VALUE, SECRET_ADDR};
+use xlmc_soc::MpuBit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SystemModel::with_defaults()?;
+    let eval = Evaluation::new(workloads::illegal_write())?;
+    let cfg = ExperimentConfig::default();
+    let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+    let runner = FaultRunner {
+        model: &model,
+        eval: &eval,
+        prechar: &prechar,
+        hardening: None,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+
+    println!(
+        "benchmark `{}`: {}\ngolden run: {} cycles, T_t = {}\n",
+        eval.workload.name, eval.workload.description, eval.golden.cycles, eval.target_cycle
+    );
+
+    // A gallery of attacks with different physics.
+    let attacks: Vec<(&str, AttackSample)> = vec![
+        (
+            "SEU on the violation register, one cycle early",
+            AttackSample {
+                t: 1,
+                center: model.mpu.dff(MpuBit::Violation),
+                radius: 0.0,
+                phase: 0,
+            },
+        ),
+        (
+            "same register, but 20 cycles too early",
+            AttackSample {
+                t: 20,
+                center: model.mpu.dff(MpuBit::Violation),
+                radius: 0.0,
+                phase: 0,
+            },
+        ),
+        (
+            "SEU on the MPU enable bit, 30 cycles before T_t",
+            AttackSample {
+                t: 30,
+                center: model.mpu.dff(MpuBit::Enable),
+                radius: 0.0,
+                phase: 0,
+            },
+        ),
+        (
+            "SEU on an unused region's base register",
+            AttackSample {
+                t: 10,
+                center: model.mpu.dff(MpuBit::Base(2, 9)),
+                radius: 0.0,
+                phase: 0,
+            },
+        ),
+        (
+            "radiation spot (r=1) over the region-0 limit register",
+            AttackSample {
+                t: 8,
+                center: model.mpu.dff(MpuBit::Limit(0, 13)),
+                radius: 1.0,
+                phase: 4,
+            },
+        ),
+    ];
+
+    for (label, sample) in &attacks {
+        let outcome = runner.run(sample, &mut rng);
+        println!("attack: {label}");
+        println!(
+            "  t = {} (T_e = {:?}), spot r = {}, phase bin {}",
+            sample.t, outcome.injection_cycle, sample.radius, sample.phase
+        );
+        let bits: Vec<String> = outcome.faulty_bits.iter().map(|b| b.dff_name()).collect();
+        println!(
+            "  latched errors : [{}]",
+            if bits.is_empty() {
+                "none".to_string()
+            } else {
+                bits.join(", ")
+            }
+        );
+        println!(
+            "  class = {:?}, evaluated {}, attack {}",
+            outcome.class,
+            if outcome.analytic {
+                "analytically"
+            } else {
+                "by RTL resume"
+            },
+            if outcome.success { "SUCCEEDED" } else { "failed" }
+        );
+        println!();
+    }
+
+    // Independently verify the enable-bit attack at RTL level.
+    println!("independent RTL verification of the enable-bit attack:");
+    let te = eval.target_cycle - 30;
+    let mut soc = eval.golden.nearest_checkpoint(te).clone();
+    while soc.cycle < te {
+        soc.step();
+    }
+    soc.step();
+    soc.mpu.toggle_bit(MpuBit::Enable);
+    soc.run_until_halt(eval.max_cycles);
+    println!(
+        "  mem[{SECRET_ADDR:#06x}] = {:#06x} (attacker planted {ATTACK_VALUE:#06x})",
+        soc.mem_word(SECRET_ADDR)
+    );
+    println!(
+        "  isolated flag   = {} (0 means the security response never fired)",
+        soc.core.isolated
+    );
+    assert!(eval.workload.goal.succeeded(&soc));
+    println!("  -> the illegal write landed and the process was never isolated");
+    Ok(())
+}

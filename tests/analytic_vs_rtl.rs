@@ -1,0 +1,116 @@
+//! Soundness of the analytical memory-type evaluator against full RTL
+//! fault simulation, across both benchmarks, several injection cycles and
+//! multi-bit error sets.
+
+use xlmc::analytic::{evaluate, AnalyticVerdict};
+use xlmc::Evaluation;
+use xlmc_soc::workloads;
+use xlmc_soc::{MpuBit, Soc};
+
+fn rtl_reference(eval: &Evaluation, bits: &[MpuBit], te: u64) -> bool {
+    let mut soc: Soc = eval.golden.nearest_checkpoint(te).clone();
+    while soc.cycle < te {
+        soc.step();
+    }
+    soc.step();
+    for &b in bits {
+        soc.mpu.toggle_bit(b);
+    }
+    soc.run_until_halt(eval.max_cycles);
+    eval.workload.goal.succeeded(&soc)
+}
+
+fn check_all_config_bits(eval: &Evaluation, te: u64) {
+    let mut checked = 0;
+    for bit in MpuBit::all() {
+        if !bit.is_config() {
+            continue;
+        }
+        let verdict = evaluate(eval, &[bit], te);
+        if verdict == AnalyticVerdict::NotApplicable {
+            continue;
+        }
+        let rtl = rtl_reference(eval, &[bit], te);
+        assert_eq!(
+            verdict == AnalyticVerdict::Success,
+            rtl,
+            "{}: {bit:?} at T_e={te}",
+            eval.workload.name
+        );
+        checked += 1;
+    }
+    assert!(checked > 100, "too few applicable bits ({checked})");
+}
+
+#[test]
+fn single_bit_agreement_write_benchmark() {
+    let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+    for te in [eval.target_cycle - 3, eval.target_cycle - 40] {
+        check_all_config_bits(&eval, te);
+    }
+}
+
+#[test]
+fn single_bit_agreement_read_benchmark() {
+    let eval = Evaluation::new(workloads::illegal_read()).unwrap();
+    check_all_config_bits(&eval, eval.target_cycle - 10);
+}
+
+#[test]
+fn multi_bit_agreement() {
+    let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+    let te = eval.target_cycle - 8;
+    // Pairs and triples mixing hole-openers, shrinkers and inert bits.
+    let sets: Vec<Vec<MpuBit>> = vec![
+        vec![MpuBit::Enable, MpuBit::Base(2, 3)],
+        vec![MpuBit::Limit(0, 13), MpuBit::Limit(0, 14)],
+        vec![MpuBit::Limit(0, 13), MpuBit::Base(3, 0), MpuBit::Perms(2, 1)],
+        vec![MpuBit::Base(0, 13), MpuBit::Limit(0, 13)],
+        vec![MpuBit::Perms(1, 1), MpuBit::Limit(1, 12)],
+        vec![MpuBit::StickyViol, MpuBit::Limit(0, 13)],
+    ];
+    for bits in sets {
+        let verdict = evaluate(&eval, &bits, te);
+        if verdict == AnalyticVerdict::NotApplicable {
+            continue;
+        }
+        let rtl = rtl_reference(&eval, &bits, te);
+        assert_eq!(
+            verdict == AnalyticVerdict::Success,
+            rtl,
+            "error set {bits:?}"
+        );
+    }
+}
+
+#[test]
+fn read_attack_needs_the_leak_path_too() {
+    // Extending the read-only region 1 over the secret allows the read but
+    // the leak store stays legal through region 0, so the attack succeeds;
+    // the analytic evaluator and RTL must both see it.
+    let eval = Evaluation::new(workloads::illegal_read()).unwrap();
+    let te = eval.target_cycle - 10;
+    // limit1: 0x60ff -> set bit 12 -> 0x70ff covers the secret (read-only).
+    let bits = [MpuBit::Limit(1, 12)];
+    let verdict = evaluate(&eval, &bits, te);
+    let rtl = rtl_reference(&eval, &bits, te);
+    assert_eq!(verdict == AnalyticVerdict::Success, rtl);
+    assert_eq!(
+        verdict,
+        AnalyticVerdict::Success,
+        "read attack through a read-only hole"
+    );
+}
+
+#[test]
+fn the_same_hole_does_not_help_the_write_attack() {
+    // The read-only hole lets the secret be read but not written: for the
+    // write benchmark the same flip must fail.
+    let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+    let te = eval.target_cycle - 10;
+    let bits = [MpuBit::Limit(1, 12)];
+    let verdict = evaluate(&eval, &bits, te);
+    let rtl = rtl_reference(&eval, &bits, te);
+    assert_eq!(verdict == AnalyticVerdict::Success, rtl);
+    assert_eq!(verdict, AnalyticVerdict::Failure);
+}

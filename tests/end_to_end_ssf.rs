@@ -1,0 +1,176 @@
+//! End-to-end pipeline tests: model → golden run → pre-characterization →
+//! sampling → campaign, across all three strategies and both benchmarks.
+
+use std::sync::OnceLock;
+use xlmc::estimator::run_campaign;
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::{
+    baseline_distribution, ConeSampling, ExperimentConfig, ImportanceSampling, RandomSampling,
+    SamplingStrategy,
+};
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_soc::workloads;
+
+struct Fixture {
+    model: SystemModel,
+    write_eval: Evaluation,
+    read_eval: Evaluation,
+    prechar: Precharacterization,
+    cfg: ExperimentConfig,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let model = SystemModel::with_defaults().unwrap();
+        let write_eval = Evaluation::new(workloads::illegal_write()).unwrap();
+        let read_eval = Evaluation::new(workloads::illegal_read()).unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 16,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        Fixture {
+            model,
+            write_eval,
+            read_eval,
+            prechar,
+            cfg,
+        }
+    })
+}
+
+fn strategies(f: &Fixture) -> Vec<Box<dyn SamplingStrategy>> {
+    let fd = baseline_distribution(&f.model, &f.cfg);
+    vec![
+        Box::new(RandomSampling::new(fd.clone())),
+        Box::new(ConeSampling::new(
+            fd.clone(),
+            &f.prechar,
+            f.cfg.radius_options.clone(),
+        )),
+        Box::new(ImportanceSampling::new(
+            fd,
+            &f.model,
+            &f.prechar,
+            f.cfg.alpha,
+            f.cfg.beta,
+            f.cfg.radius_options.clone(),
+        )),
+    ]
+}
+
+#[test]
+fn all_strategies_agree_on_the_write_benchmark() {
+    let f = fixture();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    let results: Vec<_> = strategies(f)
+        .iter()
+        .map(|s| run_campaign(&runner, s.as_ref(), 900, 31))
+        .collect();
+    for r in &results {
+        assert!(r.ssf > 0.0, "{}: no successes", r.strategy);
+        assert!(r.ssf < 0.5, "{}: implausibly large SSF", r.strategy);
+    }
+    // Unbiasedness: estimates within a factor of each other.
+    let max = results.iter().map(|r| r.ssf).fold(f64::MIN, f64::max);
+    let min = results.iter().map(|r| r.ssf).fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 4.0,
+        "estimates disagree: {:?}",
+        results.iter().map(|r| r.ssf).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn importance_sampling_reduces_variance_on_both_benchmarks() {
+    let f = fixture();
+    for eval in [&f.write_eval, &f.read_eval] {
+        let runner = FaultRunner {
+            model: &f.model,
+            eval,
+            prechar: &f.prechar,
+            hardening: None,
+        };
+        let strats = strategies(f);
+        let random = run_campaign(&runner, strats[0].as_ref(), 1_200, 77);
+        let importance = run_campaign(&runner, strats[2].as_ref(), 1_200, 78);
+        assert!(
+            importance.sample_variance < random.sample_variance,
+            "{}: importance {:.3e} !< random {:.3e}",
+            eval.workload.name,
+            importance.sample_variance,
+            random.sample_variance,
+        );
+    }
+}
+
+#[test]
+fn read_benchmark_has_nonzero_ssf_too() {
+    let f = fixture();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.read_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    let strats = strategies(f);
+    let r = run_campaign(&runner, strats[2].as_ref(), 900, 5);
+    assert!(r.ssf > 0.0, "read attack must be possible");
+    assert!(!r.attribution.is_empty());
+}
+
+#[test]
+fn campaigns_are_reproducible_end_to_end() {
+    let f = fixture();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    let strats = strategies(f);
+    let a = run_campaign(&runner, strats[2].as_ref(), 400, 123);
+    let b = run_campaign(&runner, strats[2].as_ref(), 400, 123);
+    assert_eq!(a.ssf, b.ssf);
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn hardening_reduces_ssf_end_to_end() {
+    use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
+    let f = fixture();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    let strats = strategies(f);
+    let baseline = run_campaign(&runner, strats[2].as_ref(), 1_200, 9);
+    assert!(baseline.ssf > 0.0);
+
+    let total = f.model.mpu.netlist().dffs().len();
+    let (bits, coverage) = select_top_registers(&baseline.attribution, total, 0.05);
+    assert!(coverage > 0.3, "top registers should cover real SSF mass");
+    let hardened = HardenedSet::new(bits, HardeningModel::default());
+    assert!(hardened.area_overhead(&f.model) < 0.10);
+
+    let hardened_runner = FaultRunner {
+        hardening: Some(&hardened),
+        ..runner
+    };
+    let after = run_campaign(&hardened_runner, strats[2].as_ref(), 1_200, 9);
+    assert!(
+        after.ssf < baseline.ssf,
+        "hardening must reduce SSF: {} !< {}",
+        after.ssf,
+        baseline.ssf
+    );
+}
