@@ -10,8 +10,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
-use xlmc::sampling::ExperimentConfig;
+use xlmc::sampling::{baseline_distribution, ExperimentConfig, ImportanceSampling};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
 use xlmc_fault::AttackSample;
 use xlmc_gatesim::bitparallel::{evaluate_combinational, PackedTraces};
@@ -39,10 +40,7 @@ fn setup() -> Setup {
 fn bench_gate_kernels(c: &mut Criterion) {
     let s = setup();
     let netlist = s.model.mpu.netlist();
-    let state = s
-        .model
-        .mpu
-        .state_vector(&s.eval.golden.mpu_states[100]);
+    let state = s.model.mpu.state_vector(&s.eval.golden.mpu_states[100]);
     let stim = &s.eval.golden.stimulus[100];
     let inputs = s.model.mpu.input_values(stim.request, stim.cfg_write);
 
@@ -180,5 +178,43 @@ fn bench_flow_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gate_kernels, bench_rtl_kernels, bench_flow_paths);
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let s = setup();
+    let runner = FaultRunner {
+        model: &s.model,
+        eval: &s.eval,
+        prechar: &s.prechar,
+        hardening: None,
+    };
+    let cfg = ExperimentConfig::default();
+    let strategy = ImportanceSampling::new(
+        baseline_distribution(&s.model, &cfg),
+        &s.model,
+        &s.prechar,
+        cfg.alpha,
+        cfg.beta,
+        cfg.radius_options.clone(),
+    );
+
+    // Runs/sec of the sharded engine; the result is bit-identical at
+    // every thread count, so these rows differ only in scheduling cost.
+    let n = 1_000;
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.sample_size(10);
+    for threads in [1, 2, 4] {
+        let opts = CampaignOptions::with_threads(threads);
+        g.bench_function(format!("runs_{n}_threads_{threads}").as_str(), |b| {
+            b.iter(|| black_box(run_campaign_with(&runner, &strategy, n, 0xC0DE, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_kernels,
+    bench_rtl_kernels,
+    bench_flow_paths,
+    bench_campaign_throughput
+);
 criterion_main!(benches);

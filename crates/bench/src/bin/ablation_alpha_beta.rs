@@ -6,12 +6,13 @@
 //! user can see how much of the speedup each term buys. `α = 0` degenerates
 //! to fanin-cone sampling.
 
-use xlmc::estimator::run_campaign;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, RandomSampling};
 use xlmc_bench::{print_table, ExperimentContext};
 
 fn main() {
+    let opts = CampaignOptions::from_args();
     let ctx = ExperimentContext::build();
     let runner = FaultRunner {
         model: &ctx.model,
@@ -22,7 +23,7 @@ fn main() {
     let f = baseline_distribution(&ctx.model, &ctx.cfg);
     let n = 3_000;
 
-    let random = run_campaign(&runner, &RandomSampling::new(f.clone()), n, 0xAB);
+    let random = run_campaign_with(&runner, &RandomSampling::new(f.clone()), n, 0xAB, &opts);
     println!(
         "random baseline: ssf={:.5} variance={:.3e}",
         random.ssf, random.sample_variance
@@ -39,13 +40,16 @@ fn main() {
                 beta,
                 ctx.cfg.radius_options.clone(),
             );
-            let r = run_campaign(&runner, &is, n, 0xABCD);
+            let r = run_campaign_with(&runner, &is, n, 0xABCD, &opts);
             rows.push(vec![
                 format!("{alpha}"),
                 format!("{beta}"),
                 format!("{:.5}", r.ssf),
                 format!("{:.3e}", r.sample_variance),
-                format!("{:.2}x", random.sample_variance / r.sample_variance.max(1e-12)),
+                format!(
+                    "{:.2}x",
+                    random.sample_variance / r.sample_variance.max(1e-12)
+                ),
             ]);
         }
     }

@@ -1,0 +1,125 @@
+//! Campaign-engine throughput benchmark: runs/sec of the sharded
+//! zero-allocation engine against a sequential seed-style baseline.
+//!
+//! The baseline reproduces the pre-sharding engine: one shared `StdRng`,
+//! the allocating [`FaultRunner::run`] per attack (fresh cycle values,
+//! fresh strike buffers, cloned checkpoint on every RTL resume). The
+//! engine rows use [`run_campaign_with`] at 1, 2 and 4 worker threads —
+//! same number of runs, same flow, per-run `SplitMix64` streams and a
+//! reusable per-worker scratch.
+//!
+//! Results land in `BENCH_campaign.json` next to the working directory,
+//! one object per configuration with runs/sec and the speedup over the
+//! baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
+use xlmc::stats::RunningStats;
+use xlmc_bench::ExperimentContext;
+
+const RUNS: usize = 20_000;
+const SEED: u64 = 0xBE7C;
+
+struct Row {
+    label: String,
+    runs_per_sec: f64,
+    elapsed_s: f64,
+    ssf: f64,
+}
+
+/// The seed engine, verbatim: sequential, one shared RNG, allocating
+/// per-run path.
+fn baseline(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy) -> Row {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut stats = RunningStats::new();
+    let start = Instant::now();
+    for _ in 0..RUNS {
+        let sample = strategy.draw(&mut rng);
+        let w = strategy.weight(&sample);
+        let outcome = runner.run(&sample, &mut rng);
+        stats.push(if outcome.success { w } else { 0.0 });
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Row {
+        label: "baseline_sequential".into(),
+        runs_per_sec: RUNS as f64 / elapsed,
+        elapsed_s: elapsed,
+        ssf: stats.mean(),
+    }
+}
+
+fn engine(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy, threads: usize) -> Row {
+    let opts = CampaignOptions::with_threads(threads);
+    let start = Instant::now();
+    let r = run_campaign_with(runner, strategy, RUNS, SEED, &opts);
+    let elapsed = start.elapsed().as_secs_f64();
+    Row {
+        label: format!("engine_threads_{threads}"),
+        runs_per_sec: RUNS as f64 / elapsed,
+        elapsed_s: elapsed,
+        ssf: r.ssf,
+    }
+}
+
+fn main() {
+    eprintln!("[bench_campaign] building model and golden runs ...");
+    let ctx = ExperimentContext::build();
+    let runner = FaultRunner {
+        model: &ctx.model,
+        eval: &ctx.write_eval,
+        prechar: &ctx.prechar,
+        hardening: None,
+    };
+    let f = baseline_distribution(&ctx.model, &ctx.cfg);
+    let strategy = ImportanceSampling::new(
+        f,
+        &ctx.model,
+        &ctx.prechar,
+        ctx.cfg.alpha,
+        ctx.cfg.beta,
+        ctx.cfg.radius_options.clone(),
+    );
+
+    eprintln!("[bench_campaign] {RUNS} importance-sampled attacks per configuration ...");
+    let mut rows = vec![baseline(&runner, &strategy)];
+    for threads in [1, 2, 4] {
+        rows.push(engine(&runner, &strategy, threads));
+    }
+
+    let base_rate = rows[0].runs_per_sec;
+    let mut json = String::from("{\n  \"runs\": ");
+    let _ = write!(json, "{RUNS},\n  \"seed\": {SEED},\n  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"runs_per_sec\": {:.2}, \"elapsed_s\": {:.4}, \
+             \"speedup_vs_baseline\": {:.3}, \"ssf\": {:.6}}}{}",
+            r.label,
+            r.runs_per_sec,
+            r.elapsed_s,
+            r.runs_per_sec / base_rate,
+            r.ssf,
+            sep
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+
+    println!("\n== campaign throughput ({RUNS} runs, importance sampling) ==");
+    for r in &rows {
+        println!(
+            "  {:22} {:>9.1} runs/s  ({:.2}s, {:.2}x baseline)",
+            r.label,
+            r.runs_per_sec,
+            r.elapsed_s,
+            r.runs_per_sec / base_rate
+        );
+    }
+    println!("wrote BENCH_campaign.json");
+}

@@ -6,7 +6,7 @@
 //! different strategies" — successful attacks out of 2,000 runs and the
 //! sample variance (the paper reports 0.0261 / 0.0210 / 9.70e-5).
 
-use xlmc::estimator::{run_campaign, CampaignResult};
+use xlmc::estimator::{run_campaign_with, CampaignOptions, CampaignResult};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{
     baseline_distribution, ConeSampling, ImportanceSampling, RandomSampling, SamplingStrategy,
@@ -14,6 +14,7 @@ use xlmc::sampling::{
 use xlmc_bench::{print_table, sparkline, ExperimentContext};
 
 fn main() {
+    let opts = CampaignOptions::from_args();
     let ctx = ExperimentContext::build();
     let runner = FaultRunner {
         model: &ctx.model,
@@ -44,7 +45,7 @@ fn main() {
     eprintln!("[fig09] running 3 campaigns of {n} fault injections each ...");
     let results: Vec<CampaignResult> = strategies
         .iter()
-        .map(|s| run_campaign(&runner, s.as_ref(), n, 0xF19))
+        .map(|s| run_campaign_with(&runner, s.as_ref(), n, 0xF19, &opts))
         .collect();
 
     println!("\n== Figure 9(a): convergence of the SSF estimate ({n} runs) ==");
@@ -63,7 +64,7 @@ fn main() {
     let rows: Vec<Vec<String>> = strategies
         .iter()
         .map(|s| {
-            let r = run_campaign(&runner, s.as_ref(), 2_000, 0x2000);
+            let r = run_campaign_with(&runner, s.as_ref(), 2_000, 0x2000, &opts);
             vec![
                 r.strategy.clone(),
                 r.successes.to_string(),
@@ -74,7 +75,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 9(b): statistics over 2,000 attacks",
-        &["strategy", "# succ.", "sample variance s^2", "LLN bound (eps=0.01)"],
+        &[
+            "strategy",
+            "# succ.",
+            "sample variance s^2",
+            "LLN bound (eps=0.01)",
+        ],
         &rows,
     );
     let var_random: f64 = rows[0][2].parse().unwrap_or(f64::NAN);

@@ -6,7 +6,7 @@
 //! comparison" between attacks on registers and attacks on combinational
 //! gates (paper: 271 vs 70 successes out of 2,000; SSF 0.027 vs 0.007).
 
-use xlmc::estimator::run_campaign;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::RandomSampling;
 use xlmc_bench::{pct, print_table, ExperimentContext};
@@ -14,6 +14,7 @@ use xlmc_fault::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
 use xlmc_netlist::{CellKind, GateId};
 
 fn main() {
+    let opts = CampaignOptions::from_args();
     let ctx = ExperimentContext::build();
     let runner = FaultRunner {
         model: &ctx.model,
@@ -47,11 +48,12 @@ fn main() {
 
     // Figure 10(a): outcome split for attacks on combinational gates.
     eprintln!("[fig10] attacking combinational gates ...");
-    let comb = run_campaign(
+    let comb = run_campaign_with(
         &runner,
         &RandomSampling::new(dist_over(comb_cells)),
         2_000,
         0xA10,
+        &opts,
     );
     let (masked, mem, both) = comb.class_counts.fractions();
     print_table(
@@ -83,11 +85,12 @@ fn main() {
 
     // Figure 10(b): SSF from register strikes vs combinational strikes.
     eprintln!("[fig10] attacking registers ...");
-    let regs = run_campaign(
+    let regs = run_campaign_with(
         &runner,
         &RandomSampling::new(dist_over(reg_cells)),
         2_000,
         0xB10,
+        &opts,
     );
     print_table(
         "Figure 10(b): SSF by struck cell type (2,000 attacks each)",

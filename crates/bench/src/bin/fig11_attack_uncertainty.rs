@@ -7,7 +7,7 @@
 //! delta at the best target cell. Both are evaluated for the memory-write
 //! and memory-read benchmarks, as in the paper.
 
-use xlmc::estimator::run_campaign;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{subblock_cells, RandomSampling};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
@@ -31,7 +31,14 @@ fn ssf(
         prechar,
         hardening: None,
     };
-    run_campaign(&runner, &RandomSampling::new(f), n, seed).ssf
+    run_campaign_with(
+        &runner,
+        &RandomSampling::new(f),
+        n,
+        seed,
+        &CampaignOptions::from_args(),
+    )
+    .ssf
 }
 
 fn main() {

@@ -9,13 +9,14 @@
 //! The study runs an importance-sampling campaign, ranks registers by their
 //! SSF attribution, hardens the top 3%, and re-evaluates.
 
-use xlmc::estimator::run_campaign;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
 use xlmc::sampling::{baseline_distribution, ImportanceSampling};
 use xlmc_bench::{pct, print_table, ExperimentContext};
 
 fn main() {
+    let opts = CampaignOptions::from_args();
     let ctx = ExperimentContext::build();
     let runner = FaultRunner {
         model: &ctx.model,
@@ -36,7 +37,7 @@ fn main() {
     // Baseline campaign with per-register SSF attribution.
     eprintln!("[hardening] baseline campaign ...");
     let n = 8_000;
-    let baseline = run_campaign(&runner, &is, n, 0x4A8D);
+    let baseline = run_campaign_with(&runner, &is, n, 0x4A8D, &opts);
     println!(
         "baseline SSF = {:.5} ({} successes / {} runs)",
         baseline.ssf, baseline.successes, n
@@ -45,8 +46,7 @@ fn main() {
     // Identify the critical registers.
     let total_regs = ctx.model.mpu.netlist().dffs().len();
     let fraction = 0.03;
-    let (critical, coverage) =
-        select_top_registers(&baseline.attribution, total_regs, fraction);
+    let (critical, coverage) = select_top_registers(&baseline.attribution, total_regs, fraction);
     let rows: Vec<Vec<String>> = critical
         .iter()
         .map(|b| {
@@ -81,7 +81,7 @@ fn main() {
         ..runner
     };
     eprintln!("[hardening] hardened campaign ...");
-    let after = run_campaign(&hardened_runner, &is, n, 0x4A8E);
+    let after = run_campaign_with(&hardened_runner, &is, n, 0x4A8E, &opts);
 
     print_table(
         "Hardening outcome",

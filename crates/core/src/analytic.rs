@@ -44,10 +44,7 @@ pub fn evaluate(
 ) -> AnalyticVerdict {
     // Capability guard: only configuration and sticky bits are captured by
     // the pure predicate.
-    if !faulty_bits
-        .iter()
-        .all(|b| b.is_config() || b.is_sticky())
-    {
+    if !faulty_bits.iter().all(|b| b.is_config() || b.is_sticky()) {
         return AnalyticVerdict::NotApplicable;
     }
     // Sticky bits are pure status: no functional effect. If nothing else is

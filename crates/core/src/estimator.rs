@@ -8,14 +8,19 @@
 //! analytic-vs-RTL run counts, and the per-register SSF attribution that
 //! drives the hardening study.
 
-use crate::flow::{FaultRunner, StrikeClass};
+use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
+use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::stats::RunningStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xlmc_soc::MpuBit;
+
+/// Runs per shard. Fixed — independent of the thread count — so the chunk
+/// partition, and therefore every merged statistic, is a pure function of
+/// `(seed, n, strategy)`.
+const CHUNK_RUNS: usize = 32;
 
 /// Counts of strike outcomes by class (paper Figure 10(a)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,7 +51,7 @@ impl ClassCounts {
 }
 
 /// The result of one sampling campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Strategy name.
     pub strategy: String,
@@ -67,8 +72,9 @@ pub struct CampaignResult {
     pub analytic_runs: usize,
     /// Runs requiring RTL resume.
     pub rtl_runs: usize,
-    /// Weighted success mass attributed to each faulty register.
-    pub attribution: HashMap<MpuBit, f64>,
+    /// Weighted success mass attributed to each faulty register. Ordered by
+    /// bit so reports and serialized results are stable run-to-run.
+    pub attribution: BTreeMap<MpuBit, f64>,
 }
 
 impl CampaignResult {
@@ -81,51 +87,238 @@ impl CampaignResult {
     }
 }
 
-/// Run a campaign of `n` attacks with the given strategy and seed.
+/// Knobs of the campaign engine, shared by every figure binary.
+///
+/// The thread count is a pure scheduling choice: campaign results are
+/// bit-identical at any `threads` value (see [`crate::rng`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Upper bound on convergence-trace points (the trace records the
+    /// running estimate at shard boundaries, downsampled to this many).
+    pub trace_points: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            trace_points: 200,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// Options with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Parse `--threads N` from the process arguments (used by the figure
+    /// binaries); anything else is left for the caller.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--threads" {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.threads = v;
+                }
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                if let Ok(v) = v.parse() {
+                    opts.threads = v;
+                }
+            }
+        }
+        opts
+    }
+
+    /// The concrete worker count (resolving `0` to the core count).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Everything one shard of runs accumulates; merged in shard order.
+#[derive(Debug, Default)]
+struct ChunkPartial {
+    stats: RunningStats,
+    class_counts: ClassCounts,
+    analytic_runs: usize,
+    rtl_runs: usize,
+    successes: usize,
+    attribution: BTreeMap<MpuBit, f64>,
+}
+
+/// Execute runs `start..end` of the campaign. Each run's generator comes
+/// from `(seed, run_index)` alone, so a shard computes the same partial on
+/// any worker.
+fn run_chunk(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut FlowScratch,
+) -> ChunkPartial {
+    let mut p = ChunkPartial::default();
+    for i in start..end {
+        let mut rng = SplitMix64::for_run(seed, i as u64);
+        let sample = strategy.draw(&mut rng);
+        let w = strategy.weight(&sample);
+        let outcome = runner.run_with(&sample, &mut rng, scratch);
+        match outcome.class {
+            StrikeClass::Masked => p.class_counts.masked += 1,
+            StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
+            StrikeClass::Mixed => p.class_counts.mixed += 1,
+        }
+        if outcome.class != StrikeClass::Masked {
+            if outcome.analytic {
+                p.analytic_runs += 1;
+            } else {
+                p.rtl_runs += 1;
+            }
+        }
+        let x = if outcome.success {
+            p.successes += 1;
+            for &bit in outcome.faulty_bits {
+                *p.attribution.entry(bit).or_insert(0.0) += w;
+            }
+            w
+        } else {
+            0.0
+        };
+        p.stats.push(x);
+    }
+    p
+}
+
+/// Run a campaign of `n` attacks with the given strategy and seed
+/// (sequential; see [`run_campaign_with`] for the threaded form).
 pub fn run_campaign(
     runner: &FaultRunner<'_>,
     strategy: &dyn SamplingStrategy,
     n: usize,
     seed: u64,
 ) -> CampaignResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    run_campaign_with(runner, strategy, n, seed, &CampaignOptions::default())
+}
+
+/// Run a campaign of `n` attacks across `options.threads` workers.
+///
+/// The runs are split into fixed-size shards (`CHUNK_RUNS`); workers
+/// steal shard indices from a shared counter, and the partials are merged
+/// **in shard order** with Chan's parallel mean/variance combine
+/// ([`RunningStats::merge`]). Because each run's RNG derives from
+/// `(seed, run_index)` and the partition never depends on the schedule, the
+/// returned result is bit-identical at any thread count.
+pub fn run_campaign_with(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    n: usize,
+    seed: u64,
+    options: &CampaignOptions,
+) -> CampaignResult {
+    let chunks = n.div_ceil(CHUNK_RUNS);
+    let threads = options.effective_threads().clamp(1, chunks.max(1));
+    let chunk_bounds = |c: usize| (c * CHUNK_RUNS, ((c + 1) * CHUNK_RUNS).min(n));
+
+    let mut slots: Vec<Option<ChunkPartial>> = Vec::with_capacity(chunks);
+    if threads <= 1 {
+        let mut scratch = FlowScratch::default();
+        for c in 0..chunks {
+            let (start, end) = chunk_bounds(c);
+            slots.push(Some(run_chunk(
+                runner,
+                strategy,
+                seed,
+                start,
+                end,
+                &mut scratch,
+            )));
+        }
+    } else {
+        slots.resize_with(chunks, || None);
+        let next = AtomicUsize::new(0);
+        let worker_outputs: Vec<Vec<(usize, ChunkPartial)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut scratch = FlowScratch::default();
+                        let mut local = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                break;
+                            }
+                            let (start, end) = chunk_bounds(c);
+                            local.push((
+                                c,
+                                run_chunk(runner, strategy, seed, start, end, &mut scratch),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        for (c, partial) in worker_outputs.into_iter().flatten() {
+            slots[c] = Some(partial);
+        }
+    }
+
+    // Merge in shard order; record the running estimate at each boundary.
     let mut stats = RunningStats::new();
-    let mut trace = Vec::new();
-    let trace_stride = (n / 200).max(1);
     let mut class_counts = ClassCounts::default();
     let mut analytic_runs = 0usize;
     let mut rtl_runs = 0usize;
     let mut successes = 0usize;
-    let mut attribution: HashMap<MpuBit, f64> = HashMap::new();
+    let mut attribution: BTreeMap<MpuBit, f64> = BTreeMap::new();
+    let mut boundaries: Vec<(usize, f64)> = Vec::with_capacity(chunks);
+    for (c, slot) in slots.into_iter().enumerate() {
+        let p = slot.expect("every shard ran");
+        stats.merge(&p.stats);
+        class_counts.masked += p.class_counts.masked;
+        class_counts.memory_only += p.class_counts.memory_only;
+        class_counts.mixed += p.class_counts.mixed;
+        analytic_runs += p.analytic_runs;
+        rtl_runs += p.rtl_runs;
+        successes += p.successes;
+        for (bit, w) in p.attribution {
+            *attribution.entry(bit).or_insert(0.0) += w;
+        }
+        boundaries.push((chunk_bounds(c).1, stats.mean()));
+    }
 
-    for i in 0..n {
-        let sample = strategy.draw(&mut rng);
-        let w = strategy.weight(&sample);
-        let outcome = runner.run(&sample, &mut rng);
-        match outcome.class {
-            StrikeClass::Masked => class_counts.masked += 1,
-            StrikeClass::MemoryOnly => class_counts.memory_only += 1,
-            StrikeClass::Mixed => class_counts.mixed += 1,
-        }
-        if outcome.class != StrikeClass::Masked {
-            if outcome.analytic {
-                analytic_runs += 1;
-            } else {
-                rtl_runs += 1;
-            }
-        }
-        let x = if outcome.success {
-            successes += 1;
-            for &bit in &outcome.faulty_bits {
-                *attribution.entry(bit).or_insert(0.0) += w;
-            }
-            w
-        } else {
-            0.0
-        };
-        stats.push(x);
-        if (i + 1) % trace_stride == 0 || i + 1 == n {
-            trace.push((i + 1, stats.mean()));
+    // Downsample boundaries to at most `trace_points`, always keeping the
+    // final `(n, ŜSF)` point exactly once.
+    let stride = boundaries
+        .len()
+        .div_ceil(options.trace_points.max(1))
+        .max(1);
+    let mut trace: Vec<(usize, f64)> = boundaries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (i + 1) % stride == 0)
+        .map(|(_, &b)| b)
+        .collect();
+    if trace.last() != boundaries.last() {
+        if let Some(&last) = boundaries.last() {
+            trace.push(last);
         }
     }
 
@@ -278,6 +471,54 @@ mod tests {
         let result = run_campaign(&r, &strat, 300, 20);
         let (masked, _, _) = result.class_counts.fractions();
         assert!(masked > 0.3, "masked fraction {masked}");
+    }
+
+    #[test]
+    fn trace_has_no_duplicate_points_and_ends_at_n() {
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        // n both divisible and not divisible by the shard size, n < shard
+        // size, and n below the old 200-point threshold (the historical
+        // duplicate-final-point case).
+        for n in [32, 64, 150, 190, 200, 333] {
+            let result = run_campaign(&r, &strat, n, 5);
+            let trace = &result.trace;
+            assert_eq!(trace.last().unwrap().0, n, "n = {n}");
+            for w in trace.windows(2) {
+                assert!(w[0].0 < w[1].0, "n = {n}: non-increasing trace {trace:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let sequential = run_campaign_with(&r, &strat, 200, 13, &CampaignOptions::with_threads(1));
+        for threads in [2, 4, 7] {
+            let parallel =
+                run_campaign_with(&r, &strat, 200, 13, &CampaignOptions::with_threads(threads));
+            assert_eq!(sequential.ssf, parallel.ssf, "threads = {threads}");
+            assert_eq!(
+                sequential.sample_variance, parallel.sample_variance,
+                "threads = {threads}"
+            );
+            assert_eq!(sequential.successes, parallel.successes);
+            assert_eq!(sequential.class_counts, parallel.class_counts);
+            assert_eq!(sequential.analytic_runs, parallel.analytic_runs);
+            assert_eq!(sequential.rtl_runs, parallel.rtl_runs);
+            assert_eq!(sequential.attribution, parallel.attribution);
+            assert_eq!(sequential.trace, parallel.trace);
+        }
+    }
+
+    #[test]
+    fn campaign_options_resolve_threads() {
+        assert_eq!(CampaignOptions::default().effective_threads(), 1);
+        assert_eq!(CampaignOptions::with_threads(4).effective_threads(), 4);
+        assert!(CampaignOptions::with_threads(0).effective_threads() >= 1);
     }
 
     #[test]

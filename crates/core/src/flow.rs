@@ -13,6 +13,9 @@
 //!    architectural state, and resume RTL simulation to completion,
 //! 5. the attack-goal predicate on the final state is the indicator `e`.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use crate::analytic::{self, AnalyticVerdict};
 use crate::harden::HardenedSet;
 use crate::lifetime::RegisterKind;
@@ -21,6 +24,8 @@ use crate::precharacterize::Precharacterization;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xlmc_fault::{AttackSample, RadiationSpot};
+use xlmc_gatesim::{CycleValues, StrikeOutcome, TransientScratch};
+use xlmc_netlist::GateId;
 use xlmc_soc::{MpuBit, Soc};
 
 /// The classification of one strike by where its errors landed
@@ -62,6 +67,62 @@ impl AttackOutcome {
             injection_cycle,
         }
     }
+}
+
+/// A borrowed view of one attack run's outcome, returned by
+/// [`FaultRunner::run_with`].
+///
+/// Identical to [`AttackOutcome`] except that the faulty-bit list lives in
+/// the [`FlowScratch`], so the hot path hands the caller a slice instead of
+/// a fresh `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct RunView<'s> {
+    /// The success indicator `e(t, p)`.
+    pub success: bool,
+    /// Where the errors landed.
+    pub class: StrikeClass,
+    /// The faulty register bits (borrowed from the scratch; valid until the
+    /// next run on the same scratch).
+    pub faulty_bits: &'s [MpuBit],
+    /// Whether the outcome came from the analytical evaluation.
+    pub analytic: bool,
+    /// The injection cycle `T_e`, when inside the run.
+    pub injection_cycle: Option<u64>,
+}
+
+impl RunView<'_> {
+    /// Copy into an owned [`AttackOutcome`].
+    pub fn to_outcome(&self) -> AttackOutcome {
+        AttackOutcome {
+            success: self.success,
+            class: self.class,
+            faulty_bits: self.faulty_bits.to_vec(),
+            analytic: self.analytic,
+            injection_cycle: self.injection_cycle,
+        }
+    }
+}
+
+/// Reusable per-worker buffers for [`FaultRunner::run_with`].
+///
+/// Holds every transient allocation of the flow, plus two memos that are
+/// valid **only against one `(model, evaluation)` pair**: the netlist cycle
+/// values keyed by injection cycle (the golden run makes them a pure
+/// function of `T_e`), and the resident RTL-resume system that checkpoint
+/// restores copy into instead of cloning. Never move one scratch between
+/// runners with different models or evaluations; within one campaign the
+/// engine keeps a scratch per worker.
+#[derive(Debug, Default)]
+pub struct FlowScratch {
+    cycle_cache: HashMap<u64, CycleValues>,
+    state_buf: Vec<bool>,
+    input_buf: Vec<bool>,
+    struck: Vec<GateId>,
+    transient: TransientScratch,
+    strike_out: StrikeOutcome,
+    faulty_regs: Vec<GateId>,
+    faulty_bits: Vec<MpuBit>,
+    resume_soc: Option<Soc>,
 }
 
 /// Executes attack runs against one evaluation setup.
@@ -119,25 +180,92 @@ impl FaultRunner<'_> {
 
     /// Execute one attack with the given sample.
     pub fn run(&self, sample: &AttackSample, rng: &mut impl Rng) -> AttackOutcome {
-        let Some(te) = sample.injection_cycle(self.eval.target_cycle) else {
-            return AttackOutcome::failed(StrikeClass::Masked, None);
+        let mut scratch = FlowScratch::default();
+        self.run_with(sample, rng, &mut scratch).to_outcome()
+    }
+
+    /// [`FaultRunner::run`] with caller-owned buffers — the campaign hot
+    /// path. After the scratch is warm (every distinct injection cycle seen
+    /// once), a masked strike allocates nothing.
+    pub fn run_with<'s>(
+        &self,
+        sample: &AttackSample,
+        rng: &mut impl Rng,
+        scratch: &'s mut FlowScratch,
+    ) -> RunView<'s> {
+        let golden = &self.eval.golden;
+        let te = match sample.injection_cycle(self.eval.target_cycle) {
+            Some(te) if te < golden.cycles => te,
+            _ => {
+                scratch.faulty_bits.clear();
+                return RunView {
+                    success: false,
+                    class: StrikeClass::Masked,
+                    faulty_bits: &scratch.faulty_bits,
+                    analytic: false,
+                    injection_cycle: None,
+                };
+            }
         };
-        let Some(faulty_bits) = self.injected_bits(sample) else {
-            return AttackOutcome::failed(StrikeClass::Masked, None);
+        let FlowScratch {
+            cycle_cache,
+            state_buf,
+            input_buf,
+            struck,
+            transient,
+            strike_out,
+            faulty_regs,
+            faulty_bits,
+            resume_soc,
+        } = scratch;
+
+        let netlist = self.model.mpu.netlist();
+        // The injection-cycle values are a pure function of `te` on the
+        // golden run; campaigns revisit the same few cycles (t ≤ t_max), so
+        // the memo turns the per-run combinational sweep into a lookup.
+        let values: &CycleValues = match cycle_cache.entry(te) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                self.model
+                    .mpu
+                    .state_vector_into(&golden.mpu_states[te as usize], state_buf);
+                let stim = &golden.stimulus[te as usize];
+                self.model
+                    .mpu
+                    .input_values_into(stim.request, stim.cfg_write, input_buf);
+                let mut cv = CycleValues::default();
+                self.model
+                    .cycle_sim
+                    .eval_into(netlist, state_buf, input_buf, &mut cv);
+                e.insert(cv)
+            }
         };
-        self.conclude(te, faulty_bits, rng)
+
+        let spot = RadiationSpot {
+            center: sample.center,
+            radius: sample.radius,
+        };
+        spot.impacted_cells_into(&self.model.placement, struck);
+        let strike_time = sample.strike_time_ps(self.model.transient.config().clock_period_ps);
+        self.model.transient.strike_with(
+            netlist,
+            values,
+            struck,
+            strike_time,
+            transient,
+            strike_out,
+        );
+        strike_out.faulty_registers_into(faulty_regs);
+        faulty_bits.clear();
+        faulty_bits.extend(faulty_regs.iter().filter_map(|&d| self.model.mpu.bit_of(d)));
+        self.conclude_with(te, rng, faulty_bits, resume_soc)
     }
 
     /// Execute one clock-glitch attack: shorten the capture period of the
     /// injection cycle to `glitch_period_ps` so long combinational paths
     /// latch stale values (the paper's second technique family; the
     /// parameter vector `p` here is the glitch depth).
-    pub fn run_glitch(
-        &self,
-        t: i64,
-        glitch_period_ps: f64,
-        rng: &mut impl Rng,
-    ) -> AttackOutcome {
+    pub fn run_glitch(&self, t: i64, glitch_period_ps: f64, rng: &mut impl Rng) -> AttackOutcome {
         let golden = &self.eval.golden;
         let te = self.eval.target_cycle as i64 - t;
         if te < 1 || te as u64 >= golden.cycles {
@@ -153,7 +281,10 @@ impl FaultRunner<'_> {
         };
         let prev = eval_cycle(te - 1);
         let cur = eval_cycle(te);
-        let flipped = self.model.glitch.glitch(netlist, &prev, &cur, glitch_period_ps);
+        let flipped = self
+            .model
+            .glitch
+            .glitch(netlist, &prev, &cur, glitch_period_ps);
         let faulty_bits: Vec<MpuBit> = flipped
             .iter()
             .filter_map(|&d| self.model.mpu.bit_of(d))
@@ -163,17 +294,31 @@ impl FaultRunner<'_> {
 
     /// Shared downstream half of the flow: hardening filter, memory /
     /// computation classification, analytic evaluation or RTL resume.
-    fn conclude(
+    fn conclude(&self, te: u64, mut faulty_bits: Vec<MpuBit>, rng: &mut impl Rng) -> AttackOutcome {
+        let mut slot = None;
+        self.conclude_with(te, rng, &mut faulty_bits, &mut slot)
+            .to_outcome()
+    }
+
+    /// [`FaultRunner::conclude`] writing into scratch-owned storage.
+    fn conclude_with<'s>(
         &self,
         te: u64,
-        mut faulty_bits: Vec<MpuBit>,
         rng: &mut impl Rng,
-    ) -> AttackOutcome {
+        faulty_bits: &'s mut Vec<MpuBit>,
+        resume_soc: &mut Option<Soc>,
+    ) -> RunView<'s> {
         if let Some(h) = self.hardening {
             faulty_bits.retain(|&b| h.flip_survives(b, rng));
         }
         if faulty_bits.is_empty() {
-            return AttackOutcome::failed(StrikeClass::Masked, Some(te));
+            return RunView {
+                success: false,
+                class: StrikeClass::Masked,
+                faulty_bits,
+                analytic: false,
+                injection_cycle: Some(te),
+            };
         }
 
         let class = if faulty_bits
@@ -187,32 +332,23 @@ impl FaultRunner<'_> {
 
         // Memory-type-only strikes go to the analytical evaluator.
         if class == StrikeClass::MemoryOnly {
-            match analytic::evaluate(self.eval, &faulty_bits, te) {
-                AnalyticVerdict::Success => {
-                    return AttackOutcome {
-                        success: true,
-                        class,
-                        faulty_bits,
-                        analytic: true,
-                        injection_cycle: Some(te),
-                    }
-                }
-                AnalyticVerdict::Failure => {
-                    return AttackOutcome {
-                        success: false,
-                        class,
-                        faulty_bits,
-                        analytic: true,
-                        injection_cycle: Some(te),
-                    }
-                }
+            match analytic::evaluate(self.eval, faulty_bits, te) {
                 AnalyticVerdict::NotApplicable => {}
+                verdict => {
+                    return RunView {
+                        success: verdict == AnalyticVerdict::Success,
+                        class,
+                        faulty_bits,
+                        analytic: true,
+                        injection_cycle: Some(te),
+                    };
+                }
             }
         }
 
         // RTL resume from the nearest golden checkpoint.
-        let success = self.rtl_resume(te, &faulty_bits);
-        AttackOutcome {
+        let success = self.rtl_resume_in(te, faulty_bits, resume_soc);
+        RunView {
             success,
             class,
             faulty_bits,
@@ -222,9 +358,18 @@ impl FaultRunner<'_> {
     }
 
     /// Restore, replay to the injection cycle, write the errors back into
-    /// the architectural state, and run to completion.
-    fn rtl_resume(&self, te: u64, faulty_bits: &[MpuBit]) -> bool {
-        let mut soc: Soc = self.eval.golden.nearest_checkpoint(te).clone();
+    /// the architectural state, and run to completion. The checkpoint is
+    /// copied into the resident `slot` system when one exists instead of
+    /// cloning a fresh one.
+    fn rtl_resume_in(&self, te: u64, faulty_bits: &[MpuBit], slot: &mut Option<Soc>) -> bool {
+        let checkpoint = self.eval.golden.nearest_checkpoint(te);
+        let soc = match slot {
+            Some(soc) => {
+                soc.restore_from(checkpoint);
+                soc
+            }
+            None => slot.insert(checkpoint.clone()),
+        };
         while soc.cycle < te {
             soc.step();
         }
@@ -234,7 +379,7 @@ impl FaultRunner<'_> {
             soc.mpu.toggle_bit(b);
         }
         soc.run_until_halt(self.eval.max_cycles);
-        self.eval.workload.goal.succeeded(&soc)
+        self.eval.workload.goal.succeeded(soc)
     }
 }
 
@@ -376,7 +521,9 @@ mod tests {
             radius: 0.0,
             phase: 0,
         };
-        let successes = (0..100).filter(|_| r.run(&sample, &mut rng).success).count();
+        let successes = (0..100)
+            .filter(|_| r.run(&sample, &mut rng).success)
+            .count();
         assert!(
             (2..=25).contains(&successes),
             "hardened success rate should be ~10%, got {successes}/100"
@@ -412,7 +559,7 @@ mod tests {
             let out = r.run(&sample, &mut rng);
             if out.class == StrikeClass::MemoryOnly && out.analytic {
                 let te = out.injection_cycle.unwrap();
-                let rtl = r.rtl_resume(te, &out.faulty_bits);
+                let rtl = r.rtl_resume_in(te, &out.faulty_bits, &mut None);
                 assert_eq!(out.success, rtl, "cell {cell}: {:?}", out.faulty_bits);
                 checked += 1;
             }
@@ -448,6 +595,50 @@ mod tests {
         let out = r.run_glitch(1, period, &mut rng);
         assert_eq!(out.class, StrikeClass::Masked);
         assert!(!out.success);
+    }
+
+    #[test]
+    fn run_with_scratch_reuse_matches_run() {
+        // Drive many samples (masked, analytic, RTL, out-of-run) through ONE
+        // scratch; each outcome must equal the allocating API under an
+        // identical RNG stream.
+        let f = fixture();
+        let r = runner(&f, None);
+        let mut scratch = FlowScratch::default();
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        let cells = f.prechar.space.frame_for(5).unwrap().cells.clone();
+        let mut samples: Vec<AttackSample> = cells
+            .iter()
+            .step_by(5)
+            .map(|&c| AttackSample {
+                t: 5,
+                center: c,
+                radius: 1.0,
+                phase: 2,
+            })
+            .collect();
+        samples.push(AttackSample {
+            t: 1_000_000,
+            center: GateId(0),
+            radius: 0.0,
+            phase: 0,
+        });
+        samples.push(AttackSample {
+            t: 1,
+            center: f.model.mpu.dff(MpuBit::Violation),
+            radius: 0.0,
+            phase: 0,
+        });
+        for sample in &samples {
+            let fresh = r.run(sample, &mut rng_a);
+            let view = r.run_with(sample, &mut rng_b, &mut scratch);
+            assert_eq!(view.success, fresh.success, "{sample:?}");
+            assert_eq!(view.class, fresh.class, "{sample:?}");
+            assert_eq!(view.faulty_bits, &fresh.faulty_bits[..], "{sample:?}");
+            assert_eq!(view.analytic, fresh.analytic, "{sample:?}");
+            assert_eq!(view.injection_cycle, fresh.injection_cycle, "{sample:?}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::model::SystemModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use xlmc_netlist::CellKind;
 use xlmc_soc::MpuBit;
 
@@ -78,7 +78,8 @@ impl HardenedSet {
     /// registers.
     pub fn area_overhead(&self, model: &SystemModel) -> f64 {
         let total = model.mpu.netlist().stats().area;
-        let added = self.bits.len() as f64 * CellKind::Dff.area() * (self.model.area_multiplier - 1.0);
+        let added =
+            self.bits.len() as f64 * CellKind::Dff.area() * (self.model.area_multiplier - 1.0);
         added / total
     }
 }
@@ -88,7 +89,7 @@ impl HardenedSet {
 /// of total attribution they cover — the paper's "3% of registers
 /// contribute more than 95% of SSF" analysis.
 pub fn select_top_registers(
-    attribution: &HashMap<MpuBit, f64>,
+    attribution: &BTreeMap<MpuBit, f64>,
     total_registers: usize,
     fraction: f64,
 ) -> (Vec<MpuBit>, f64) {
@@ -97,7 +98,11 @@ pub fn select_top_registers(
         .map(|(&b, &w)| (b, w))
         .filter(|&(_, w)| w > 0.0)
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.dff_name().cmp(&b.0.dff_name())));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then(a.0.dff_name().cmp(&b.0.dff_name()))
+    });
     let take = ((total_registers as f64 * fraction).ceil() as usize).max(1);
     let total: f64 = ranked.iter().map(|&(_, w)| w).sum();
     let selected: Vec<(MpuBit, f64)> = ranked.into_iter().take(take).collect();
@@ -150,7 +155,7 @@ mod tests {
 
     #[test]
     fn top_register_selection_ranks_by_weight() {
-        let mut attribution = HashMap::new();
+        let mut attribution = BTreeMap::new();
         attribution.insert(MpuBit::Violation, 10.0);
         attribution.insert(MpuBit::PipeValid, 5.0);
         attribution.insert(MpuBit::PipeUser, 1.0);
@@ -164,7 +169,7 @@ mod tests {
 
     #[test]
     fn empty_attribution_selects_nothing_meaningful() {
-        let (bits, coverage) = select_top_registers(&HashMap::new(), 100, 0.03);
+        let (bits, coverage) = select_top_registers(&BTreeMap::new(), 100, 0.03);
         assert!(bits.is_empty());
         assert_eq!(coverage, 0.0);
     }

@@ -69,6 +69,7 @@ pub mod harden;
 pub mod lifetime;
 pub mod model;
 pub mod precharacterize;
+pub mod rng;
 pub mod sampling;
 pub mod space;
 pub mod stats;

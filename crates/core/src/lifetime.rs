@@ -157,13 +157,12 @@ impl RegisterCharacterization {
             let lifetime = samples.iter().map(|s| s.0).max().unwrap_or(0);
             let mut contams: Vec<u32> = samples.iter().map(|s| s.1).collect();
             let contamination = median(&mut contams);
-            let kind = if lifetime >= MEMORY_LIFETIME_MIN
-                && contamination == MEMORY_CONTAMINATION_MAX
-            {
-                RegisterKind::Memory
-            } else {
-                RegisterKind::Computation
-            };
+            let kind =
+                if lifetime >= MEMORY_LIFETIME_MIN && contamination == MEMORY_CONTAMINATION_MAX {
+                    RegisterKind::Memory
+                } else {
+                    RegisterKind::Computation
+                };
             per_bit.insert(
                 bit,
                 BitCharacter {

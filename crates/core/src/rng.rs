@@ -1,0 +1,134 @@
+//! Per-run random streams for the sharded campaign engine.
+//!
+//! The parallel estimator must produce **bit-identical** results at any
+//! thread count. That rules out threading one sequential RNG through the
+//! runs: whichever worker draws first would perturb every later run.
+//! Instead each run `i` of a campaign gets its own generator derived
+//! purely from `(seed, i)`:
+//!
+//! ```text
+//! state0(seed, i) = mix(mix(seed ^ GOLDEN * i))        // stream head
+//! next()          = SplitMix64 step from state0
+//! ```
+//!
+//! where `mix` is the SplitMix64 finalizer (Stafford's mix13 variant) and
+//! `GOLDEN` is 2⁶⁴/φ. Double-mixing decorrelates the `(seed, i)` lattice
+//! so neighbouring runs land in unrelated regions of the state space; the
+//! per-run stream itself is a plain SplitMix64 sequence, which passes
+//! BigCrush and is more than enough for Monte Carlo sampling.
+//!
+//! The derivation is part of the campaign's public contract: campaign
+//! results are a pure function of `(seed, n, strategy)` — never of the
+//! thread count or the work schedule. See DESIGN.md, "Campaign engine".
+
+use rand::{RngCore, SeedableRng};
+
+/// 2⁶⁴ / φ, the Weyl increment of SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 finalizer (Stafford mix13).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A SplitMix64 generator.
+///
+/// Cheap to construct (two multiplies per word of state), so the campaign
+/// engine builds a fresh one per run instead of threading a generator
+/// between runs — that is what makes the estimate independent of the
+/// execution schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// The generator for run `run_index` of a campaign with `seed`.
+    ///
+    /// This is the documented derivation the determinism property test
+    /// pins down: same `(seed, run_index)` ⇒ same stream, on any thread.
+    #[inline]
+    pub fn for_run(seed: u64, run_index: u64) -> Self {
+        Self {
+            state: mix(mix(seed ^ GOLDEN_GAMMA.wrapping_mul(run_index))),
+        }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            state: u64::from_le_bytes(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn per_run_streams_are_deterministic() {
+        for run in [0u64, 1, 17, u64::MAX] {
+            let mut a = SplitMix64::for_run(42, run);
+            let mut b = SplitMix64::for_run(42, run);
+            for _ in 0..32 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbouring_runs_decorrelate() {
+        // Adjacent run indices and adjacent seeds must give unrelated
+        // first outputs (the double-mix property).
+        let mut firsts = std::collections::HashSet::new();
+        for run in 0..1000u64 {
+            assert!(firsts.insert(SplitMix64::for_run(7, run).next_u64()));
+        }
+        // Disjoint seed range: seed 7 / run 3 is already in the set above.
+        for seed in 1000..2000u64 {
+            assert!(firsts.insert(SplitMix64::for_run(seed, 3).next_u64()));
+        }
+    }
+
+    #[test]
+    fn unit_interval_samples_are_balanced() {
+        // Crude uniformity check over the pooled per-run streams, the way
+        // the campaign engine actually uses them.
+        let n = 50_000;
+        let mean = (0..n)
+            .map(|i| SplitMix64::for_run(123, i).gen::<f64>())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "pooled mean {mean}");
+    }
+
+    #[test]
+    fn seedable_roundtrip() {
+        let mut a = SplitMix64::from_seed(5u64.to_le_bytes());
+        let mut b = SplitMix64::from_seed(5u64.to_le_bytes());
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = SplitMix64::seed_from_u64(9);
+        let _ = c.next_u64();
+    }
+}

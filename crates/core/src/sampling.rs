@@ -126,7 +126,11 @@ fn spatial_support(f: &AttackDistribution) -> Vec<GateId> {
 
 /// A sampling strategy: draws attack samples and reports importance
 /// weights against the attacker distribution.
-pub trait SamplingStrategy {
+///
+/// `Send + Sync` so the campaign engine can share one strategy across its
+/// worker threads; strategies are immutable once built, so every
+/// implementation in this crate satisfies the bound structurally.
+pub trait SamplingStrategy: Send + Sync {
     /// Human-readable strategy name for reports.
     fn name(&self) -> &'static str;
     /// Draw one sample from the strategy's distribution `g`.
@@ -202,15 +206,16 @@ impl Frame {
     }
 
     fn cell_weight(&self, g: GateId) -> Option<f64> {
-        self.cells
-            .binary_search(&g)
-            .ok()
-            .map(|i| self.weights[i])
+        self.cells.binary_search(&g).ok().map(|i| self.weights[i])
     }
 
-    fn draw_cell(&self, rng: &mut dyn rand::RngCore) -> GateId {
-        let x = rng.gen_range(0.0..self.total);
-        let idx = self.cum.partition_point(|&c| c <= x).min(self.cells.len() - 1);
+    fn draw_cell(&self, mut rng: &mut dyn rand::RngCore) -> GateId {
+        // Reborrow: `Rng`'s generic methods need a `Sized` receiver.
+        let x = (&mut rng).gen_range(0.0..self.total);
+        let idx = self
+            .cum
+            .partition_point(|&c| c <= x)
+            .min(self.cells.len() - 1);
         self.cells[idx]
     }
 }
@@ -260,19 +265,18 @@ impl FramedStrategy {
         w / self.grand_total * self.radius.pmf(s.radius) / f64::from(PHASE_BINS)
     }
 
-    fn draw(&self, rng: &mut dyn rand::RngCore) -> AttackSample {
-        let x = rng.gen_range(0.0..self.grand_total);
+    fn draw(&self, mut rng: &mut dyn rand::RngCore) -> AttackSample {
+        let x = (&mut rng).gen_range(0.0..self.grand_total);
         let idx = self
             .frame_cum
             .partition_point(|&c| c <= x)
             .min(self.frames.len() - 1);
         let frame = &self.frames[idx];
-        let mut rng = rng;
         AttackSample {
             t: frame.t,
             center: frame.draw_cell(rng),
             radius: self.radius.sample(&mut rng),
-            phase: rng.gen_range(0..PHASE_BINS),
+            phase: (&mut rng).gen_range(0..PHASE_BINS),
         }
     }
 
@@ -392,8 +396,7 @@ impl ImportanceSampling {
                     if fr.frame >= 1 {
                         corr = corr.max(prechar.cell_suppress(g));
                     }
-                    let lifetime_ok =
-                        f64::from(prechar.cell_lifetime(g)) >= beta * fr.frame as f64;
+                    let lifetime_ok = f64::from(prechar.cell_lifetime(g)) >= beta * fr.frame as f64;
                     1.0 + alpha * corr * f64::from(u8::from(lifetime_ok))
                 };
                 let frame_cells: Vec<GateId> = fr.cells.clone();
@@ -490,11 +493,8 @@ mod tests {
         assert_eq!(cells.len(), expect);
         // The sub-block must cover security-critical state: at least some
         // configuration registers or the responding-signal cone.
-        let in_cone = xlmc_netlist::cones::fanin_cone(
-            model.mpu.netlist(),
-            model.mpu.responding_signal(),
-            0,
-        );
+        let in_cone =
+            xlmc_netlist::cones::fanin_cone(model.mpu.netlist(), model.mpu.responding_signal(), 0);
         let overlap = cells
             .iter()
             .filter(|&&g| in_cone.frame(0).contains(g))
@@ -626,11 +626,7 @@ mod tests {
         // subblock| / |subblock|.
         let subblock = subblock_cells(&model, cfg.subblock_fraction);
         let frame2 = prechar.space.frame_for(2).unwrap();
-        let overlap = frame2
-            .cells
-            .iter()
-            .filter(|g| subblock.contains(g))
-            .count();
+        let overlap = frame2.cells.iter().filter(|g| subblock.contains(g)).count();
         let truth = (1.0 / cfg.t_max as f64) * overlap as f64 / subblock.len() as f64;
         assert!(
             (estimate - truth).abs() < 0.2 * truth.max(1e-3),

@@ -226,7 +226,10 @@ mod tests {
         // frames keep only the configuration registers.
         let deep_regs = space.cone_register_counts(&m).last().unwrap().1;
         let total_regs = m.mpu.netlist().dffs().len();
-        assert!(deep_regs * 7 < total_regs * 6, "regs {deep_regs}/{total_regs}");
+        assert!(
+            deep_regs * 7 < total_regs * 6,
+            "regs {deep_regs}/{total_regs}"
+        );
     }
 
     #[test]

@@ -43,6 +43,34 @@ impl RunningStats {
         }
     }
 
+    /// Fold another accumulator into this one (Chan et al.'s parallel
+    /// combine): with `δ = mean_b − mean_a` and `n = n_a + n_b`,
+    ///
+    /// ```text
+    /// mean = mean_a + δ · n_b / n
+    /// M2   = M2_a + M2_b + δ² · n_a · n_b / n
+    /// ```
+    ///
+    /// The campaign engine merges per-chunk accumulators **in chunk
+    /// order**, so the combined mean/variance is a pure function of the
+    /// chunk partition — identical at any thread count.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let total = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (nb / total);
+        self.m2 += other.m2 + delta * delta * (na * nb / total);
+        self.n += other.n;
+    }
+
     /// The Chebyshev/LLN bound of §3.3 on `Pr[|estimate − SSF| ≥ eps]`:
     /// `variance / (n · eps²)`, clamped to 1.
     pub fn lln_bound(&self, eps: f64) -> f64 {
@@ -132,6 +160,42 @@ mod tests {
         }
         assert!(large.lln_bound(0.1) < small.lln_bound(0.1));
         assert!(RunningStats::new().lln_bound(0.1) == 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_push() {
+        let xs: Vec<f64> = (0..257).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut sequential = RunningStats::new();
+        for &x in &xs {
+            sequential.push(x);
+        }
+        // Merge uneven splits, the way the campaign engine folds chunks.
+        for split in [1, 64, 100, 256] {
+            let (a, b) = xs.split_at(split);
+            let mut left = RunningStats::new();
+            let mut right = RunningStats::new();
+            a.iter().for_each(|&x| left.push(x));
+            b.iter().for_each(|&x| right.push(x));
+            left.merge(&right);
+            assert_eq!(left.count(), sequential.count());
+            assert!((left.mean() - sequential.mean()).abs() < 1e-12);
+            assert!((left.variance() - sequential.variance()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut filled = RunningStats::new();
+        [1.0, 2.0, 4.0].iter().for_each(|&x| filled.push(x));
+        let snapshot = filled;
+
+        let mut lhs = filled;
+        lhs.merge(&RunningStats::new());
+        assert_eq!(lhs, snapshot);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
     }
 
     #[test]

@@ -184,9 +184,7 @@ impl AttackDistribution {
         if s.phase >= PHASE_BINS {
             return 0.0;
         }
-        self.temporal.pmf(s.t)
-            * self.spatial.pmf(s.center)
-            * self.radius.pmf(s.radius)
+        self.temporal.pmf(s.t) * self.spatial.pmf(s.center) * self.radius.pmf(s.radius)
             / f64::from(PHASE_BINS)
     }
 }

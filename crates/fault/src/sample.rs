@@ -79,7 +79,10 @@ mod tests {
             phase: 0,
         };
         assert!((s.strike_time_ps(800.0) - 50.0).abs() < 1e-9);
-        let s = AttackSample { phase: PHASE_BINS - 1, ..s };
+        let s = AttackSample {
+            phase: PHASE_BINS - 1,
+            ..s
+        };
         assert!((s.strike_time_ps(800.0) - 750.0).abs() < 1e-9);
     }
 }

@@ -23,6 +23,12 @@ impl RadiationSpot {
     pub fn impacted_cells(&self, placement: &Placement) -> Vec<GateId> {
         placement.cells_within(self.center, self.radius)
     }
+
+    /// [`RadiationSpot::impacted_cells`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn impacted_cells_into(&self, placement: &Placement, out: &mut Vec<GateId>) {
+        placement.cells_within_into(self.center, self.radius, out);
+    }
 }
 
 #[cfg(test)]

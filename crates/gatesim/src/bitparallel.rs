@@ -114,11 +114,7 @@ pub fn evaluate_combinational(
     for &id in topo.order() {
         let gate = netlist.gate(id);
         for w in 0..words {
-            let ins: Vec<u64> = gate
-                .fanin
-                .iter()
-                .map(|&f| traces.trace(f)[w])
-                .collect();
+            let ins: Vec<u64> = gate.fanin.iter().map(|&f| traces.trace(f)[w]).collect();
             let out = gate.kind.eval_words(&ins);
             traces.trace_mut(id)[w] = out;
         }

@@ -4,7 +4,10 @@ use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError, Topology};
 
 /// All node values of one simulated cycle, plus the register state entering
 /// the next cycle.
-#[derive(Debug, Clone)]
+///
+/// Default-constructs empty so callers can keep one around as a reusable
+/// evaluation target for [`CycleSim::eval_into`].
+#[derive(Debug, Clone, Default)]
 pub struct CycleValues {
     values: Vec<bool>,
     next_state: Vec<bool>,
@@ -65,9 +68,28 @@ impl CycleSim {
     /// Panics when the state or input vector length does not match the
     /// netlist.
     pub fn eval(&self, netlist: &Netlist, state: &[bool], inputs: &[bool]) -> CycleValues {
+        let mut out = CycleValues::default();
+        self.eval_into(netlist, state, inputs, &mut out);
+        out
+    }
+
+    /// [`CycleSim::eval`] into a caller-owned buffer.
+    ///
+    /// Reuses `out`'s allocations across calls — the campaign hot path
+    /// evaluates thousands of cycles per worker without touching the
+    /// allocator after the first call.
+    pub fn eval_into(
+        &self,
+        netlist: &Netlist,
+        state: &[bool],
+        inputs: &[bool],
+        out: &mut CycleValues,
+    ) {
         assert_eq!(state.len(), netlist.dffs().len(), "state width mismatch");
         assert_eq!(inputs.len(), netlist.inputs().len(), "input width mismatch");
-        let mut values = vec![false; netlist.len()];
+        out.values.clear();
+        out.values.resize(netlist.len(), false);
+        let values = &mut out.values;
         for (i, &d) in netlist.dffs().iter().enumerate() {
             values[d.index()] = state[i];
         }
@@ -81,31 +103,30 @@ impl CycleSim {
         }
         for &id in self.topo.order() {
             let gate = netlist.gate(id);
-            let out = match gate.fanin.len() {
+            let v = match gate.fanin.len() {
                 1 => gate.kind.eval(&[values[gate.fanin[0].index()]]),
-                2 => gate.kind.eval(&[
-                    values[gate.fanin[0].index()],
-                    values[gate.fanin[1].index()],
-                ]),
+                2 => gate
+                    .kind
+                    .eval(&[values[gate.fanin[0].index()], values[gate.fanin[1].index()]]),
                 3 => gate.kind.eval(&[
                     values[gate.fanin[0].index()],
                     values[gate.fanin[1].index()],
                     values[gate.fanin[2].index()],
                 ]),
                 _ => {
-                    let ins: Vec<bool> =
-                        gate.fanin.iter().map(|f| values[f.index()]).collect();
+                    let ins: Vec<bool> = gate.fanin.iter().map(|f| values[f.index()]).collect();
                     gate.kind.eval(&ins)
                 }
             };
-            values[id.index()] = out;
+            values[id.index()] = v;
         }
-        let next_state = netlist
-            .dffs()
-            .iter()
-            .map(|&d| values[netlist.gate(d).fanin[0].index()])
-            .collect();
-        CycleValues { values, next_state }
+        out.next_state.clear();
+        out.next_state.extend(
+            netlist
+                .dffs()
+                .iter()
+                .map(|&d| out.values[netlist.gate(d).fanin[0].index()]),
+        );
     }
 
     /// Run `cycles` cycles from `init`, feeding per-cycle inputs from

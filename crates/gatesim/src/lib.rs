@@ -51,4 +51,4 @@ pub use cycle::{CycleSim, CycleValues};
 pub use glitch::GlitchSim;
 pub use signature::{correlation, SwitchingSignature};
 pub use sta::Sta;
-pub use transient::{StrikeOutcome, TransientConfig, TransientSim};
+pub use transient::{StrikeOutcome, TransientConfig, TransientScratch, TransientSim};

@@ -90,8 +90,7 @@ mod tests {
         let sta = Sta::new(&n).unwrap();
         assert!((sta.arrival(q) - CellKind::Dff.delay_ps()).abs() < 1e-9);
         assert!(
-            (sta.arrival(g) - (CellKind::Dff.delay_ps() + CellKind::Not.delay_ps())).abs()
-                < 1e-9
+            (sta.arrival(g) - (CellKind::Dff.delay_ps() + CellKind::Not.delay_ps())).abs() < 1e-9
         );
     }
 }

@@ -17,6 +17,9 @@
 //! Strikes on sequential cells (DFFs) are modeled as single-event upsets:
 //! the stored bit flips directly.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError, Topology};
 
@@ -75,15 +78,19 @@ impl StrikeOutcome {
     /// All registers in error at the end of the injection cycle
     /// (deduplicated, sorted): direct upsets plus latched transients.
     pub fn faulty_registers(&self) -> Vec<GateId> {
-        let mut all: Vec<GateId> = self
-            .latched_dffs
-            .iter()
-            .chain(&self.upset_dffs)
-            .copied()
-            .collect();
-        all.sort_unstable();
-        all.dedup();
+        let mut all = Vec::new();
+        self.faulty_registers_into(&mut all);
         all
+    }
+
+    /// [`StrikeOutcome::faulty_registers`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn faulty_registers_into(&self, out: &mut Vec<GateId>) {
+        out.clear();
+        out.extend_from_slice(&self.latched_dffs);
+        out.extend_from_slice(&self.upset_dffs);
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Whether the strike was completely masked (no register in error).
@@ -92,11 +99,36 @@ impl StrikeOutcome {
     }
 }
 
-/// Transient simulator bound to one netlist (topology cached).
+/// Reusable buffers for [`TransientSim::strike_with`].
+///
+/// One scratch per worker thread; after the first few strikes no call
+/// touches the allocator. The pulse array is reset through the `touched`
+/// list, so the per-strike cost scales with the struck fanout cone, not
+/// with the netlist.
+#[derive(Debug, Default)]
+pub struct TransientScratch {
+    pulses: Vec<Option<Pulse>>,
+    /// Gates whose `pulses` entry is `Some` (for O(cone) reset).
+    touched: Vec<GateId>,
+    /// Pending gates, popped in topological-rank order.
+    queue: BinaryHeap<Reverse<(u32, GateId)>>,
+    queued: Vec<bool>,
+    enqueued: Vec<GateId>,
+    ins: Vec<bool>,
+    pulsing: Vec<usize>,
+}
+
+/// Transient simulator bound to one netlist (topological ranks and the
+/// combinational fanout CSR cached).
 #[derive(Debug, Clone)]
 pub struct TransientSim {
-    topo: Topology,
     config: TransientConfig,
+    /// Position of each combinational gate in the topological order
+    /// (`u32::MAX` for sources and DFFs).
+    rank: Vec<u32>,
+    /// CSR adjacency: combinational consumers of each gate.
+    fanout_offsets: Vec<u32>,
+    fanout_targets: Vec<GateId>,
 }
 
 impl TransientSim {
@@ -106,10 +138,56 @@ impl TransientSim {
     ///
     /// Fails when the netlist has a combinational loop.
     pub fn new(netlist: &Netlist, config: TransientConfig) -> Result<Self, NetlistError> {
+        let topo = Topology::new(netlist)?;
+        let n = netlist.len();
+        let mut rank = vec![u32::MAX; n];
+        for (r, &id) in topo.order().iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        // Combinational fanout edges, CSR layout. DFF consumers are absent
+        // by construction (latching is checked at the D pins afterwards).
+        let mut offsets = vec![0u32; n + 1];
+        for &id in topo.order() {
+            for f in &netlist.gate(id).fanin {
+                offsets[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut next = offsets.clone();
+        let mut targets = vec![GateId(0); offsets[n] as usize];
+        for &id in topo.order() {
+            for f in &netlist.gate(id).fanin {
+                targets[next[f.index()] as usize] = id;
+                next[f.index()] += 1;
+            }
+        }
         Ok(Self {
-            topo: Topology::new(netlist)?,
             config,
+            rank,
+            fanout_offsets: offsets,
+            fanout_targets: targets,
         })
+    }
+
+    /// Enqueue the combinational consumers of `g` that are not yet queued.
+    fn enqueue_fanouts(
+        &self,
+        g: GateId,
+        queue: &mut BinaryHeap<Reverse<(u32, GateId)>>,
+        queued: &mut [bool],
+        enqueued: &mut Vec<GateId>,
+    ) {
+        let lo = self.fanout_offsets[g.index()] as usize;
+        let hi = self.fanout_offsets[g.index() + 1] as usize;
+        for &t in &self.fanout_targets[lo..hi] {
+            if !queued[t.index()] {
+                queued[t.index()] = true;
+                enqueued.push(t);
+                queue.push(Reverse((self.rank[t.index()], t)));
+            }
+        }
     }
 
     /// The configured model parameters.
@@ -138,8 +216,45 @@ impl TransientSim {
         struck: &[GateId],
         strike_time_ps: f64,
     ) -> StrikeOutcome {
+        let mut scratch = TransientScratch::default();
         let mut outcome = StrikeOutcome::default();
-        let mut pulses: Vec<Option<Pulse>> = vec![None; netlist.len()];
+        self.strike_with(
+            netlist,
+            values,
+            struck,
+            strike_time_ps,
+            &mut scratch,
+            &mut outcome,
+        );
+        outcome
+    }
+
+    /// [`TransientSim::strike`] with caller-owned buffers.
+    ///
+    /// `outcome` is cleared and refilled; `scratch` is reset on exit. Only
+    /// the struck fanout cone is visited: propagation runs a rank-ordered
+    /// worklist over the precomputed fanout CSR instead of sweeping the
+    /// whole topological order, and allocates nothing once the scratch is
+    /// warm.
+    pub fn strike_with(
+        &self,
+        netlist: &Netlist,
+        values: &CycleValues,
+        struck: &[GateId],
+        strike_time_ps: f64,
+        scratch: &mut TransientScratch,
+        outcome: &mut StrikeOutcome,
+    ) {
+        outcome.latched_dffs.clear();
+        outcome.upset_dffs.clear();
+        outcome.pulses_propagated = 0;
+
+        let n = netlist.len();
+        if scratch.pulses.len() < n {
+            scratch.pulses.resize(n, None);
+            scratch.queued.resize(n, false);
+        }
+        debug_assert!(scratch.touched.is_empty() && scratch.queue.is_empty());
 
         for &g in struck {
             let gate = netlist.gate(g);
@@ -147,7 +262,13 @@ impl TransientSim {
                 CellKind::Dff => outcome.upset_dffs.push(g),
                 CellKind::Input | CellKind::Const(_) | CellKind::Output => {}
                 _ => {
-                    pulses[g.index()] = Some(Pulse {
+                    if scratch.pulses[g.index()].is_none() {
+                        scratch.touched.push(g);
+                        // Every seeded gate is combinational, i.e. present in
+                        // the topological order, so it carries a pulse.
+                        outcome.pulses_propagated += 1;
+                    }
+                    scratch.pulses[g.index()] = Some(Pulse {
                         start: strike_time_ps,
                         duration: self.config.initial_duration_ps,
                     });
@@ -155,55 +276,70 @@ impl TransientSim {
             }
         }
 
-        // Propagate in topological order. A struck gate keeps its own pulse
-        // (the strike dominates anything arriving from fanins).
-        for &id in self.topo.order() {
-            if pulses[id.index()].is_some() {
-                outcome.pulses_propagated += 1;
+        // Propagate in rank order so every gate sees its final fanin pulses.
+        // A struck gate keeps its own pulse (the strike dominates anything
+        // arriving from fanins).
+        for i in 0..scratch.touched.len() {
+            self.enqueue_fanouts(
+                scratch.touched[i],
+                &mut scratch.queue,
+                &mut scratch.queued,
+                &mut scratch.enqueued,
+            );
+        }
+        while let Some(Reverse((_, id))) = scratch.queue.pop() {
+            if scratch.pulses[id.index()].is_some() {
                 continue;
             }
             let gate = netlist.gate(id);
-            let pulsing: Vec<usize> = gate
-                .fanin
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| pulses[f.index()].is_some())
-                .map(|(i, _)| i)
-                .collect();
-            if pulsing.is_empty() {
+            scratch.pulsing.clear();
+            for (i, f) in gate.fanin.iter().enumerate() {
+                if scratch.pulses[f.index()].is_some() {
+                    scratch.pulsing.push(i);
+                }
+            }
+            if scratch.pulsing.is_empty() {
                 continue;
             }
             // Logical masking: does flipping the pulsing inputs flip the
             // output under the cycle's stable side-input values?
-            let mut ins: Vec<bool> = gate
-                .fanin
-                .iter()
-                .map(|f| values.value(*f))
-                .collect();
-            let nominal = gate.kind.eval(&ins);
-            for &i in &pulsing {
-                ins[i] = !ins[i];
+            scratch.ins.clear();
+            scratch
+                .ins
+                .extend(gate.fanin.iter().map(|f| values.value(*f)));
+            let nominal = gate.kind.eval(&scratch.ins);
+            for &i in &scratch.pulsing {
+                scratch.ins[i] = !scratch.ins[i];
             }
-            let flipped = gate.kind.eval(&ins);
+            let flipped = gate.kind.eval(&scratch.ins);
             if flipped == nominal {
                 continue;
             }
             // Electrical masking: the pulse narrows at each level.
-            let max_duration = pulsing
+            let max_duration = scratch
+                .pulsing
                 .iter()
-                .map(|&i| pulses[gate.fanin[i].index()].unwrap().duration)
+                .map(|&i| scratch.pulses[gate.fanin[i].index()].unwrap().duration)
                 .fold(0.0f64, f64::max);
             let duration = max_duration - self.config.attenuation_ps;
             if duration < self.config.min_duration_ps {
                 continue;
             }
-            let start = pulsing
+            let start = scratch
+                .pulsing
                 .iter()
-                .map(|&i| pulses[gate.fanin[i].index()].unwrap().start)
+                .map(|&i| scratch.pulses[gate.fanin[i].index()].unwrap().start)
                 .fold(0.0f64, f64::max)
                 + gate.kind.delay_ps();
-            pulses[id.index()] = Some(Pulse { start, duration });
+            scratch.pulses[id.index()] = Some(Pulse { start, duration });
+            scratch.touched.push(id);
             outcome.pulses_propagated += 1;
+            self.enqueue_fanouts(
+                id,
+                &mut scratch.queue,
+                &mut scratch.queued,
+                &mut scratch.enqueued,
+            );
         }
 
         // Latching-window masking at each DFF's D pin.
@@ -211,7 +347,7 @@ impl TransientSim {
         let window_hi = self.config.clock_period_ps + self.config.hold_ps;
         for &dff in netlist.dffs() {
             let d = netlist.gate(dff).fanin[0];
-            if let Some(p) = pulses[d.index()] {
+            if let Some(p) = scratch.pulses[d.index()] {
                 let pulse_lo = p.start;
                 let pulse_hi = p.start + p.duration;
                 if pulse_lo <= window_hi && pulse_hi >= window_lo {
@@ -220,7 +356,15 @@ impl TransientSim {
             }
         }
         outcome.latched_dffs.sort_unstable();
-        outcome
+
+        for &g in &scratch.touched {
+            scratch.pulses[g.index()] = None;
+        }
+        scratch.touched.clear();
+        for &g in &scratch.enqueued {
+            scratch.queued[g.index()] = false;
+        }
+        scratch.enqueued.clear();
     }
 }
 
@@ -393,6 +537,36 @@ mod tests {
         let ts = TransientSim::new(&n, permissive()).unwrap();
         let a = n.inputs()[0];
         assert!(ts.strike(&n, &cv, &[a], 0.0).is_masked());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_strikes() {
+        // Drive several different strikes through ONE scratch/outcome pair;
+        // each must equal the allocating API's result (stale state in the
+        // scratch would leak pulses between strikes).
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g = n.add_gate(CellKind::Not, &[a]);
+        let q1 = n.add_dff("q1", g);
+        let q2 = n.add_dff("q2", g);
+        let q3 = n.add_dff("q3", a);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false; 3], &[false]);
+        let ts = TransientSim::new(&n, permissive()).unwrap();
+
+        let mut scratch = TransientScratch::default();
+        let mut out = StrikeOutcome::default();
+        let strikes: &[&[GateId]] = &[&[g, q3], &[q1], &[], &[g], &[g, g], &[q2, q3]];
+        for struck in strikes {
+            ts.strike_with(&n, &cv, struck, 0.0, &mut scratch, &mut out);
+            let fresh = ts.strike(&n, &cv, struck, 0.0);
+            assert_eq!(out.latched_dffs, fresh.latched_dffs, "struck {struck:?}");
+            assert_eq!(out.upset_dffs, fresh.upset_dffs, "struck {struck:?}");
+            assert_eq!(
+                out.pulses_propagated, fresh.pulses_propagated,
+                "struck {struck:?}"
+            );
+        }
     }
 
     #[test]

@@ -240,12 +240,7 @@ mod tests {
         netlist
             .outputs()
             .iter()
-            .map(|&o| {
-                (
-                    netlist.name_of(o).unwrap().to_owned(),
-                    values[o.index()],
-                )
-            })
+            .map(|&o| (netlist.name_of(o).unwrap().to_owned(), values[o.index()]))
             .collect()
     }
 

@@ -42,7 +42,11 @@ pub enum NetlistError {
     /// A gate references a fanin id that does not exist.
     DanglingFanin { gate: GateId, fanin: GateId },
     /// A gate has the wrong number of fanins for its kind.
-    BadArity { gate: GateId, kind: CellKind, got: usize },
+    BadArity {
+        gate: GateId,
+        kind: CellKind,
+        got: usize,
+    },
     /// The combinational part of the netlist contains a cycle through `gate`.
     CombinationalLoop { gate: GateId },
     /// A named signal was looked up but does not exist.
@@ -58,7 +62,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate {gate} references nonexistent fanin {fanin}")
             }
             NetlistError::BadArity { gate, kind, got } => {
-                write!(f, "gate {gate} of kind {kind} has invalid fanin count {got}")
+                write!(
+                    f,
+                    "gate {gate} of kind {kind} has invalid fanin count {got}"
+                )
             }
             NetlistError::CombinationalLoop { gate } => {
                 write!(f, "combinational loop through gate {gate}")

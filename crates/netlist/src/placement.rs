@@ -51,8 +51,7 @@ impl Placement {
         let placeable: Vec<GateId> = netlist
             .iter()
             .filter(|(_, g)| {
-                (g.kind.is_combinational() && g.kind != CellKind::Output)
-                    || g.kind == CellKind::Dff
+                (g.kind.is_combinational() && g.kind != CellKind::Output) || g.kind == CellKind::Dff
             })
             .map(|(id, _)| id)
             .collect();
@@ -98,7 +97,11 @@ impl Placement {
             let row = slot / side;
             let col_raw = slot % side;
             // Snake rows so consecutive slots stay adjacent across row wraps.
-            let col = if row.is_multiple_of(2) { col_raw } else { side - 1 - col_raw };
+            let col = if row.is_multiple_of(2) {
+                col_raw
+            } else {
+                side - 1 - col_raw
+            };
             positions[id.index()] = Some(Point {
                 x: col as f64,
                 y: row as f64,
@@ -129,18 +132,23 @@ impl Placement {
     /// All placed cells within Euclidean distance `radius` of the location
     /// of `center` (inclusive; always contains `center` itself when placed).
     pub fn cells_within(&self, center: GateId, radius: f64) -> Vec<GateId> {
+        let mut out = Vec::new();
+        self.cells_within_into(center, radius, &mut out);
+        out
+    }
+
+    /// [`Placement::cells_within`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn cells_within_into(&self, center: GateId, radius: f64, out: &mut Vec<GateId>) {
+        out.clear();
         let Some(c) = self.position(center) else {
-            return Vec::new();
+            return;
         };
-        self.placeable
-            .iter()
-            .copied()
-            .filter(|&g| {
-                self.position(g)
-                    .map(|p| p.distance(c) <= radius)
-                    .unwrap_or(false)
-            })
-            .collect()
+        out.extend(self.placeable.iter().copied().filter(|&g| {
+            self.position(g)
+                .map(|p| p.distance(c) <= radius)
+                .unwrap_or(false)
+        }));
     }
 }
 

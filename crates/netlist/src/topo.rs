@@ -63,7 +63,9 @@ impl Topology {
             }
         }
         if let Some((i, _)) = indegree.iter().enumerate().find(|(_, &d)| d > 0) {
-            return Err(NetlistError::CombinationalLoop { gate: GateId(i as u32) });
+            return Err(NetlistError::CombinationalLoop {
+                gate: GateId(i as u32),
+            });
         }
         Ok(Self { order, level })
     }

@@ -65,8 +65,7 @@ impl UnrolledNetlist {
                         map.insert(uref, netlist.add_const(v));
                     }
                     CellKind::Dff if frame == frames - 1 => {
-                        let name =
-                            format!("{}@init", gate.name.as_deref().unwrap_or("dff"));
+                        let name = format!("{}@init", gate.name.as_deref().unwrap_or("dff"));
                         let init = netlist.add_input(name);
                         map.insert(uref, init);
                         initial_state_inputs.push((id, init));
@@ -82,7 +81,10 @@ impl UnrolledNetlist {
             for (id, gate) in source.iter() {
                 if gate.kind == CellKind::Dff && frame < frames - 1 {
                     let d = gate.fanin[0];
-                    let prev = map[&UnrolledRef { gate: d, frame: frame + 1 }];
+                    let prev = map[&UnrolledRef {
+                        gate: d,
+                        frame: frame + 1,
+                    }];
                     let name = format!("{}@{frame}", gate.name.as_deref().unwrap_or("dff"));
                     let buf = netlist.add_named_gate(name, CellKind::Buf, &[prev]);
                     map.insert(UnrolledRef { gate: id, frame }, buf);
@@ -97,8 +99,7 @@ impl UnrolledNetlist {
                     .collect();
                 let new_id = match gate.kind {
                     CellKind::Output => {
-                        let name =
-                            format!("{}@{frame}", gate.name.as_deref().unwrap_or("out"));
+                        let name = format!("{}@{frame}", gate.name.as_deref().unwrap_or("out"));
                         netlist.add_output(name, fanin[0])
                     }
                     kind => netlist.add_gate(kind, &fanin),
@@ -251,12 +252,9 @@ mod tests {
 
         // Sequential: run 3 cycles with inputs x = [1, 0, 1], init r0=r1=0.
         let xs = [true, false, true];
-        let init: Map<String, bool> =
-            [("r0".to_owned(), false), ("r1".to_owned(), false)].into();
-        let per_cycle: Vec<Map<String, bool>> = xs
-            .iter()
-            .map(|&x| [("x".to_owned(), x)].into())
-            .collect();
+        let init: Map<String, bool> = [("r0".to_owned(), false), ("r1".to_owned(), false)].into();
+        let per_cycle: Vec<Map<String, bool>> =
+            xs.iter().map(|&x| [("x".to_owned(), x)].into()).collect();
         let seq_outs = simulate_seq(&n, &init, &per_cycle);
 
         // Unrolled: frame 2 is cycle 0 (earliest), frame 0 is cycle 2.
@@ -274,7 +272,8 @@ mod tests {
             let cycle = (frames - 1 - frame) as usize;
             for name in ["y", "yx"] {
                 assert_eq!(
-                    unrolled_outs[&format!("{name}@{frame}")], seq_outs[cycle][name],
+                    unrolled_outs[&format!("{name}@{frame}")],
+                    seq_outs[cycle][name],
                     "output {name} frame {frame} / cycle {cycle}"
                 );
             }

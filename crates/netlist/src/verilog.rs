@@ -122,11 +122,7 @@ pub fn to_verilog(netlist: &Netlist, module_name: &str) -> String {
                 let _ = writeln!(s, "  {prim} g{} ({out}, {});", id.0, ins.join(", "));
             }
             CellKind::Mux => {
-                let _ = writeln!(
-                    s,
-                    "  assign {out} = {} ? {} : {};",
-                    ins[0], ins[2], ins[1]
-                );
+                let _ = writeln!(s, "  assign {out} = {} ? {} : {};", ins[0], ins[2], ins[1]);
             }
             CellKind::Dff => {
                 let _ = writeln!(s, "  always @(posedge clk) {out} <= {};", ins[0]);
@@ -229,11 +225,7 @@ pub fn from_verilog(source: &str) -> Result<Netlist, ParseVerilogError> {
             let (q, d) = rest
                 .split_once("<=")
                 .ok_or_else(|| err(line, format!("malformed always `{text}`")))?;
-            pending.push((
-                line,
-                q.trim().to_owned(),
-                Pending::Dff(d.trim().to_owned()),
-            ));
+            pending.push((line, q.trim().to_owned(), Pending::Dff(d.trim().to_owned())));
             continue;
         }
         // Primitive instance: `<prim> <inst> (out, in...)`.
@@ -298,8 +290,7 @@ pub fn from_verilog(source: &str) -> Result<Netlist, ParseVerilogError> {
                 }
             }
             Pending::Mux(_, _, _) => {
-                let tmp: Vec<GateId> =
-                    (0..3).map(|_| n.add_const(false)).collect();
+                let tmp: Vec<GateId> = (0..3).map(|_| n.add_const(false)).collect();
                 n.add_named_gate(lhs.clone(), CellKind::Mux, &tmp)
             }
             Pending::OutAssign(_) => {
@@ -364,18 +355,19 @@ mod tests {
     }
 
     /// Simulate a sequential netlist for a few cycles with named inputs.
-    fn simulate(netlist: &Netlist, cycles: usize, stim: impl Fn(usize, &str) -> bool) -> Vec<Vec<bool>> {
+    fn simulate(
+        netlist: &Netlist,
+        cycles: usize,
+        stim: impl Fn(usize, &str) -> bool,
+    ) -> Vec<Vec<bool>> {
         let topo = Topology::new(netlist).unwrap();
-        let mut state: HashMap<GateId, bool> =
-            netlist.dffs().iter().map(|&d| (d, false)).collect();
+        let mut state: HashMap<GateId, bool> = netlist.dffs().iter().map(|&d| (d, false)).collect();
         let mut outs = Vec::new();
         for c in 0..cycles {
             let mut values = vec![false; netlist.len()];
             for (id, gate) in netlist.iter() {
                 match gate.kind {
-                    CellKind::Input => {
-                        values[id.index()] = stim(c, gate.name.as_deref().unwrap())
-                    }
+                    CellKind::Input => values[id.index()] = stim(c, gate.name.as_deref().unwrap()),
                     CellKind::Const(v) => values[id.index()] = v,
                     CellKind::Dff => values[id.index()] = state[&id],
                     _ => {}
@@ -383,8 +375,7 @@ mod tests {
             }
             for &id in topo.order() {
                 let gate = netlist.gate(id);
-                let ins: Vec<bool> =
-                    gate.fanin.iter().map(|f| values[f.index()]).collect();
+                let ins: Vec<bool> = gate.fanin.iter().map(|f| values[f.index()]).collect();
                 values[id.index()] = gate.kind.eval(&ins);
             }
             outs.push(

@@ -71,9 +71,7 @@ enum Item {
 }
 
 fn strip_comment(line: &str) -> &str {
-    let end = line
-        .find([';', '#'])
-        .unwrap_or(line.len());
+    let end = line.find([';', '#']).unwrap_or(line.len());
     line[..end].trim()
 }
 
@@ -137,7 +135,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
             message: format!("expected `imm(reg)`, got `{t}`"),
         });
     }
-    let imm = if open == 0 { 0 } else { parse_int(&t[..open], line)? };
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_int(&t[..open], line)?
+    };
     let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
     Ok((imm, reg))
 }
@@ -371,10 +373,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.words.len(), 5);
         assert_eq!(p.label("loop"), Some(8));
-        assert_eq!(
-            Instr::decode(p.words[0]).unwrap(),
-            Instr::Li(Reg(1), 0x40)
-        );
+        assert_eq!(Instr::decode(p.words[0]).unwrap(), Instr::Li(Reg(1), 0x40));
         // bne at pc=12, target 8 -> offset -4.
         assert_eq!(
             Instr::decode(p.words[3]).unwrap(),

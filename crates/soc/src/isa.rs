@@ -243,9 +243,7 @@ impl Instr {
             Instr::Bltu(a, b, i) => word(OP_BLTU, a, b, i),
             Instr::Jal(d, i) => word(OP_JAL, d, Reg::ZERO, i),
             Instr::Jalr(d, a, i) => word(OP_JALR, d, a, i),
-            Instr::Csrrw(d, csr, s) => {
-                rword(OP_CSRRW, d, s, Reg(csr.id()))
-            }
+            Instr::Csrrw(d, csr, s) => rword(OP_CSRRW, d, s, Reg(csr.id())),
             Instr::Ecall => OP_ECALL << 26,
             Instr::Mret => OP_MRET << 26,
             Instr::Halt => OP_HALT << 26,
@@ -368,10 +366,7 @@ mod tests {
 
     #[test]
     fn unknown_opcode_is_an_error() {
-        assert_eq!(
-            Instr::decode(63 << 26),
-            Err(DecodeError::UnknownOpcode(63))
-        );
+        assert_eq!(Instr::decode(63 << 26), Err(DecodeError::UnknownOpcode(63)));
     }
 
     #[test]

@@ -554,13 +554,37 @@ mod tests {
             }),
         );
         assert!(mpu.config.enable);
-        mpu.step(None, Some(CfgWrite { index: 0, data: 0x1234 }));
+        mpu.step(
+            None,
+            Some(CfgWrite {
+                index: 0,
+                data: 0x1234,
+            }),
+        );
         assert_eq!(mpu.config.regions[0].base, 0x1234);
-        mpu.step(None, Some(CfgWrite { index: 1, data: 0x2222 }));
+        mpu.step(
+            None,
+            Some(CfgWrite {
+                index: 1,
+                data: 0x2222,
+            }),
+        );
         assert_eq!(mpu.config.regions[0].limit, 0x2222);
-        mpu.step(None, Some(CfgWrite { index: 2, data: 0xffff }));
+        mpu.step(
+            None,
+            Some(CfgWrite {
+                index: 2,
+                data: 0xffff,
+            }),
+        );
         assert_eq!(mpu.config.regions[0].perms, 0xf, "perms masked to 4 bits");
-        mpu.step(None, Some(CfgWrite { index: 5, data: 0x9 }));
+        mpu.step(
+            None,
+            Some(CfgWrite {
+                index: 5,
+                data: 0x9,
+            }),
+        );
         assert_eq!(mpu.config.regions[1].perms, 0x9);
     }
 

@@ -14,9 +14,7 @@
 //! The equivalence test module cross-checks the elaboration against the
 //! functional model cycle-by-cycle on random stimulus.
 
-use crate::mpu::{
-    AccessReq, CfgWrite, MpuBit, MpuState, ADDR_BITS, CFG_ENABLE_INDEX, NUM_REGIONS,
-};
+use crate::mpu::{AccessReq, CfgWrite, MpuBit, MpuState, ADDR_BITS, CFG_ENABLE_INDEX, NUM_REGIONS};
 use std::collections::HashMap;
 use xlmc_netlist::{BusBuilder, CellKind, GateId, Netlist};
 
@@ -101,7 +99,9 @@ impl MpuNetlist {
             let le = b.ule(&pipe_addr, &limits[r]);
             let in_range = b.netlist().add_gate(CellKind::And, &[ge, le]);
             let rd_ok = b.netlist().add_gate(CellKind::And, &[is_read, perms[r][0]]);
-            let wr_ok = b.netlist().add_gate(CellKind::And, &[is_write, perms[r][1]]);
+            let wr_ok = b
+                .netlist()
+                .add_gate(CellKind::And, &[is_write, perms[r][1]]);
             let ex_ok = b.netlist().add_gate(CellKind::And, &[is_exec, perms[r][2]]);
             let kind_ok = b.or_reduce(&[rd_ok, wr_ok, ex_ok]);
             let allow = b.and_reduce(&[in_range, kind_ok, perms[r][3]]);
@@ -131,7 +131,8 @@ impl MpuNetlist {
 
         b.netlist().add_output("access_violation", violation_q);
 
-        n.validate().expect("MPU elaboration produced an invalid netlist");
+        n.validate()
+            .expect("MPU elaboration produced an invalid netlist");
 
         let mut dff_for_bit = HashMap::new();
         let mut bit_for_dff = HashMap::new();
@@ -186,11 +187,21 @@ impl MpuNetlist {
     /// Express an [`MpuState`] as a netlist state vector in
     /// [`Netlist::dffs`] order.
     pub fn state_vector(&self, state: &MpuState) -> Vec<bool> {
-        self.netlist
-            .dffs()
-            .iter()
-            .map(|&d| state.bit(self.bit_for_dff[&d]))
-            .collect()
+        let mut v = Vec::new();
+        self.state_vector_into(state, &mut v);
+        v
+    }
+
+    /// [`MpuNetlist::state_vector`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn state_vector_into(&self, state: &MpuState, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(
+            self.netlist
+                .dffs()
+                .iter()
+                .map(|&d| state.bit(self.bit_for_dff[&d])),
+        );
     }
 
     /// Reconstruct an [`MpuState`] from a netlist state vector.
@@ -211,6 +222,19 @@ impl MpuNetlist {
     /// request and/or configuration write to the netlist.
     pub fn input_values(&self, req: Option<AccessReq>, cfg: Option<CfgWrite>) -> Vec<bool> {
         let mut v = Vec::with_capacity(self.netlist.inputs().len());
+        self.input_values_into(req, cfg, &mut v);
+        v
+    }
+
+    /// [`MpuNetlist::input_values`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn input_values_into(
+        &self,
+        req: Option<AccessReq>,
+        cfg: Option<CfgWrite>,
+        v: &mut Vec<bool>,
+    ) {
+        v.clear();
         let (addr, kind, user, valid) = match req {
             Some(r) => (r.addr, r.kind.code(), r.user, true),
             None => (0, 0, false, false),
@@ -234,7 +258,6 @@ impl MpuNetlist {
             v.push(wdata >> b & 1 == 1);
         }
         debug_assert_eq!(v.len(), self.netlist.inputs().len());
-        v
     }
 }
 

@@ -134,6 +134,27 @@ impl Soc {
         self.core.halted
     }
 
+    /// Overwrite this system's state from a checkpoint without reallocating.
+    ///
+    /// Equivalent to `*self = src.clone()` except that RAM is copied into
+    /// the resident buffer — the campaign hot path restores thousands of
+    /// checkpoints per worker, so the allocation-free form matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two systems have different RAM sizes (they never do:
+    /// every `Soc` allocates `RAM_BYTES`).
+    pub fn restore_from(&mut self, src: &Soc) {
+        self.core = src.core.clone();
+        self.mpu = src.mpu;
+        self.dma = src.dma;
+        self.mem.copy_from_slice(&src.mem);
+        self.cycle = src.cycle;
+        self.in_pipe = src.in_pipe;
+        self.resolving = src.resolving;
+        self.dma_outstanding = src.dma_outstanding;
+    }
+
     /// Read a RAM word by byte address (no MPU involvement; test/analysis
     /// access).
     pub fn mem_word(&self, addr: u16) -> u32 {
@@ -227,11 +248,19 @@ impl Soc {
                     }
                 }
                 PendingOp::ReadToCore => {
-                    let v = if allowed { self.bus_read(p.req.addr) } else { 0 };
+                    let v = if allowed {
+                        self.bus_read(p.req.addr)
+                    } else {
+                        0
+                    };
                     self.core.deliver_load(v);
                 }
                 PendingOp::ReadToDma => {
-                    let v = if allowed { self.bus_read(p.req.addr) } else { 0 };
+                    let v = if allowed {
+                        self.bus_read(p.req.addr)
+                    } else {
+                        0
+                    };
                     self.dma.deliver_read(v);
                     self.dma_outstanding = false;
                 }

@@ -450,7 +450,10 @@ mod tests {
             .iter()
             .filter(|a| a.master == crate::soc::Master::Dma)
             .count();
-        assert!(dma_accesses >= 8, "DMA traffic expected, got {dma_accesses}");
+        assert!(
+            dma_accesses >= 8,
+            "DMA traffic expected, got {dma_accesses}"
+        );
         let blocked_dma = run
             .access_trace
             .iter()

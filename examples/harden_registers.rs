@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "budget", "registers", "coverage", "SSF", "reduction", "area"
     );
     for fraction in [0.01, 0.03, 0.10] {
-        let (bits, coverage) =
-            select_top_registers(&baseline.attribution, total_regs, fraction);
+        let (bits, coverage) = select_top_registers(&baseline.attribution, total_regs, fraction);
         let hardened = HardenedSet::new(bits.clone(), HardeningModel::default());
         let overhead = hardened.area_overhead(&model);
         let hardened_runner = FaultRunner {

@@ -114,7 +114,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 "by RTL resume"
             },
-            if outcome.success { "SUCCEEDED" } else { "failed" }
+            if outcome.success {
+                "SUCCEEDED"
+            } else {
+                "failed"
+            }
         );
         println!();
     }

@@ -4,8 +4,11 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p xlmc --example quickstart
+//! cargo run --release -p xlmc --example quickstart -- --threads 4
 //! ```
+//!
+//! `--threads N` spreads the campaign over N workers; the estimate is
+//! bit-identical at any thread count.
 //!
 //! The flow mirrors the paper end to end:
 //!
@@ -16,7 +19,7 @@
 //! 5. run a Monte Carlo campaign with the importance-sampling strategy,
 //! 6. read off the SSF estimate with its convergence statistics.
 
-use xlmc::estimator::run_campaign;
+use xlmc::estimator::{run_campaign_with, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ExperimentConfig, ImportanceSampling};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
@@ -56,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f = baseline_distribution(&model, &cfg);
 
     // 5. A 2,000-attack campaign with the paper's importance-sampling
-    //    strategy.
+    //    strategy, sharded over `--threads` workers.
     let strategy = ImportanceSampling::new(
         f,
         &model,
@@ -71,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prechar: &prechar,
         hardening: None,
     };
-    let result = run_campaign(&runner, &strategy, 2_000, 42);
+    let result = run_campaign_with(&runner, &strategy, 2_000, 42, &CampaignOptions::from_args());
 
     // 6. The verdict.
     println!("\nSSF estimate      : {:.5}", result.ssf);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-81286fc07403971b.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-81286fc07403971b: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-a1492ad3d864ab52.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-a1492ad3d864ab52: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

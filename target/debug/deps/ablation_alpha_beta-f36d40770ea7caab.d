@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-f36d40770ea7caab.d: crates/bench/src/bin/ablation_alpha_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_alpha_beta-f36d40770ea7caab.rmeta: crates/bench/src/bin/ablation_alpha_beta.rs Cargo.toml
+
+crates/bench/src/bin/ablation_alpha_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analytic_vs_rtl-5cb1ae780909d5bb.d: crates/integration/../../tests/analytic_vs_rtl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalytic_vs_rtl-5cb1ae780909d5bb.rmeta: crates/integration/../../tests/analytic_vs_rtl.rs Cargo.toml
+
+crates/integration/../../tests/analytic_vs_rtl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

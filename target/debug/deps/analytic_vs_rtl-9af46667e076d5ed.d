@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analytic_vs_rtl-9af46667e076d5ed.d: crates/integration/../../tests/analytic_vs_rtl.rs
+
+/root/repo/target/debug/deps/analytic_vs_rtl-9af46667e076d5ed: crates/integration/../../tests/analytic_vs_rtl.rs
+
+crates/integration/../../tests/analytic_vs_rtl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_campaign-17bc3e4f1ace200c.d: crates/bench/src/bin/bench_campaign.rs
+
+/root/repo/target/debug/deps/bench_campaign-17bc3e4f1ace200c: crates/bench/src/bin/bench_campaign.rs
+
+crates/bench/src/bin/bench_campaign.rs:

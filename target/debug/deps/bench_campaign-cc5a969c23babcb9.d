@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_campaign-cc5a969c23babcb9.d: crates/bench/src/bin/bench_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_campaign-cc5a969c23babcb9.rmeta: crates/bench/src/bin/bench_campaign.rs Cargo.toml
+
+crates/bench/src/bin/bench_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_level_consistency-aa47f8972aa2017c.d: crates/integration/../../tests/cross_level_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_level_consistency-aa47f8972aa2017c.rmeta: crates/integration/../../tests/cross_level_consistency.rs Cargo.toml
+
+crates/integration/../../tests/cross_level_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

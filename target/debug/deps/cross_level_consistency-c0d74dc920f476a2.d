@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_level_consistency-c0d74dc920f476a2.d: crates/integration/../../tests/cross_level_consistency.rs
+
+/root/repo/target/debug/deps/cross_level_consistency-c0d74dc920f476a2: crates/integration/../../tests/cross_level_consistency.rs
+
+crates/integration/../../tests/cross_level_consistency.rs:

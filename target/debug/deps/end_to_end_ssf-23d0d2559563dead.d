@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_ssf-23d0d2559563dead.d: crates/integration/../../tests/end_to_end_ssf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_ssf-23d0d2559563dead.rmeta: crates/integration/../../tests/end_to_end_ssf.rs Cargo.toml
+
+crates/integration/../../tests/end_to_end_ssf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

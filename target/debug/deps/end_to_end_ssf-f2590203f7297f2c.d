@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_ssf-f2590203f7297f2c.d: crates/integration/../../tests/end_to_end_ssf.rs
+
+/root/repo/target/debug/deps/end_to_end_ssf-f2590203f7297f2c: crates/integration/../../tests/end_to_end_ssf.rs
+
+crates/integration/../../tests/end_to_end_ssf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_characterization-7b9bfdcd2500c786.d: crates/bench/src/bin/fig04_characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_characterization-7b9bfdcd2500c786.rmeta: crates/bench/src/bin/fig04_characterization.rs Cargo.toml
+
+crates/bench/src/bin/fig04_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

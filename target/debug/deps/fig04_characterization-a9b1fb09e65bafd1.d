@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_characterization-a9b1fb09e65bafd1.d: crates/bench/src/bin/fig04_characterization.rs
+
+/root/repo/target/debug/deps/fig04_characterization-a9b1fb09e65bafd1: crates/bench/src/bin/fig04_characterization.rs
+
+crates/bench/src/bin/fig04_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_characterization-c1b9d74df2a85a3b.d: crates/bench/src/bin/fig04_characterization.rs
+
+/root/repo/target/debug/deps/fig04_characterization-c1b9d74df2a85a3b: crates/bench/src/bin/fig04_characterization.rs
+
+crates/bench/src/bin/fig04_characterization.rs:

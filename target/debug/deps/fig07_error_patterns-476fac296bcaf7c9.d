@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_error_patterns-476fac296bcaf7c9.d: crates/bench/src/bin/fig07_error_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_error_patterns-476fac296bcaf7c9.rmeta: crates/bench/src/bin/fig07_error_patterns.rs Cargo.toml
+
+crates/bench/src/bin/fig07_error_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_error_patterns-785b293af0cdff6f.d: crates/bench/src/bin/fig07_error_patterns.rs
+
+/root/repo/target/debug/deps/fig07_error_patterns-785b293af0cdff6f: crates/bench/src/bin/fig07_error_patterns.rs
+
+crates/bench/src/bin/fig07_error_patterns.rs:

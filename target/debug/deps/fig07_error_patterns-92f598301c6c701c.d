@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_error_patterns-92f598301c6c701c.d: crates/bench/src/bin/fig07_error_patterns.rs
+
+/root/repo/target/debug/deps/fig07_error_patterns-92f598301c6c701c: crates/bench/src/bin/fig07_error_patterns.rs
+
+crates/bench/src/bin/fig07_error_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_error_patterns-c3e8d9fa437e72b2.d: crates/bench/src/bin/fig07_error_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_error_patterns-c3e8d9fa437e72b2.rmeta: crates/bench/src/bin/fig07_error_patterns.rs Cargo.toml
+
+crates/bench/src/bin/fig07_error_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

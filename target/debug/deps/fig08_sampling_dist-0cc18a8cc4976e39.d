@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_sampling_dist-0cc18a8cc4976e39.d: crates/bench/src/bin/fig08_sampling_dist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_sampling_dist-0cc18a8cc4976e39.rmeta: crates/bench/src/bin/fig08_sampling_dist.rs Cargo.toml
+
+crates/bench/src/bin/fig08_sampling_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

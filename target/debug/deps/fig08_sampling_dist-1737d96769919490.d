@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_sampling_dist-1737d96769919490.d: crates/bench/src/bin/fig08_sampling_dist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_sampling_dist-1737d96769919490.rmeta: crates/bench/src/bin/fig08_sampling_dist.rs Cargo.toml
+
+crates/bench/src/bin/fig08_sampling_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_sampling_dist-f1dfd34bdc9f348f.d: crates/bench/src/bin/fig08_sampling_dist.rs
+
+/root/repo/target/debug/deps/fig08_sampling_dist-f1dfd34bdc9f348f: crates/bench/src/bin/fig08_sampling_dist.rs
+
+crates/bench/src/bin/fig08_sampling_dist.rs:

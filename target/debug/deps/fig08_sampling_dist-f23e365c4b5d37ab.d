@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_sampling_dist-f23e365c4b5d37ab.d: crates/bench/src/bin/fig08_sampling_dist.rs
+
+/root/repo/target/debug/deps/fig08_sampling_dist-f23e365c4b5d37ab: crates/bench/src/bin/fig08_sampling_dist.rs
+
+crates/bench/src/bin/fig08_sampling_dist.rs:

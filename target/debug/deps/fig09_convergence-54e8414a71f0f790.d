@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_convergence-54e8414a71f0f790.d: crates/bench/src/bin/fig09_convergence.rs
+
+/root/repo/target/debug/deps/fig09_convergence-54e8414a71f0f790: crates/bench/src/bin/fig09_convergence.rs
+
+crates/bench/src/bin/fig09_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_convergence-f058d70b90a87a66.d: crates/bench/src/bin/fig09_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_convergence-f058d70b90a87a66.rmeta: crates/bench/src/bin/fig09_convergence.rs Cargo.toml
+
+crates/bench/src/bin/fig09_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_convergence-fc2d9198b58a1c67.d: crates/bench/src/bin/fig09_convergence.rs
+
+/root/repo/target/debug/deps/fig09_convergence-fc2d9198b58a1c67: crates/bench/src/bin/fig09_convergence.rs
+
+crates/bench/src/bin/fig09_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_outcome_split-4ce17dfa9dfe7547.d: crates/bench/src/bin/fig10_outcome_split.rs
+
+/root/repo/target/debug/deps/fig10_outcome_split-4ce17dfa9dfe7547: crates/bench/src/bin/fig10_outcome_split.rs
+
+crates/bench/src/bin/fig10_outcome_split.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_outcome_split-502e18532a8478e9.d: crates/bench/src/bin/fig10_outcome_split.rs
+
+/root/repo/target/debug/deps/fig10_outcome_split-502e18532a8478e9: crates/bench/src/bin/fig10_outcome_split.rs
+
+crates/bench/src/bin/fig10_outcome_split.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_outcome_split-9b5ab5b7181a9773.d: crates/bench/src/bin/fig10_outcome_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_outcome_split-9b5ab5b7181a9773.rmeta: crates/bench/src/bin/fig10_outcome_split.rs Cargo.toml
+
+crates/bench/src/bin/fig10_outcome_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_attack_uncertainty-7629c3371432d9b7.d: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+/root/repo/target/debug/deps/fig11_attack_uncertainty-7629c3371432d9b7: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+crates/bench/src/bin/fig11_attack_uncertainty.rs:

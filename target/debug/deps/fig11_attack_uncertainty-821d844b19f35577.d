@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_attack_uncertainty-821d844b19f35577.d: crates/bench/src/bin/fig11_attack_uncertainty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_attack_uncertainty-821d844b19f35577.rmeta: crates/bench/src/bin/fig11_attack_uncertainty.rs Cargo.toml
+
+crates/bench/src/bin/fig11_attack_uncertainty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

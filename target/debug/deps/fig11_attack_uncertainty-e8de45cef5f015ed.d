@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_attack_uncertainty-e8de45cef5f015ed.d: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+/root/repo/target/debug/deps/fig11_attack_uncertainty-e8de45cef5f015ed: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+crates/bench/src/bin/fig11_attack_uncertainty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening_study-8b6a473bb8980a67.d: crates/bench/src/bin/hardening_study.rs
+
+/root/repo/target/debug/deps/hardening_study-8b6a473bb8980a67: crates/bench/src/bin/hardening_study.rs
+
+crates/bench/src/bin/hardening_study.rs:

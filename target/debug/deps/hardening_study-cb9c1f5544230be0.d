@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening_study-cb9c1f5544230be0.d: crates/bench/src/bin/hardening_study.rs
+
+/root/repo/target/debug/deps/hardening_study-cb9c1f5544230be0: crates/bench/src/bin/hardening_study.rs
+
+crates/bench/src/bin/hardening_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening_study-d76e6a9f2a258448.d: crates/bench/src/bin/hardening_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening_study-d76e6a9f2a258448.rmeta: crates/bench/src/bin/hardening_study.rs Cargo.toml
+
+crates/bench/src/bin/hardening_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening_study-f8e1e117e9233eb9.d: crates/bench/src/bin/hardening_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening_study-f8e1e117e9233eb9.rmeta: crates/bench/src/bin/hardening_study.rs Cargo.toml
+
+crates/bench/src/bin/hardening_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

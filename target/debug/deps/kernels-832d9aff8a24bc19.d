@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-832d9aff8a24bc19.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-832d9aff8a24bc19: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

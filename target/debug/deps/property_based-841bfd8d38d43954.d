@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-841bfd8d38d43954.d: crates/integration/../../tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-841bfd8d38d43954.rmeta: crates/integration/../../tests/property_based.rs Cargo.toml
+
+crates/integration/../../tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-a1a3c18700f9605b.d: crates/integration/../../tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-a1a3c18700f9605b: crates/integration/../../tests/property_based.rs
+
+crates/integration/../../tests/property_based.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-75a6592242ba17a7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-75a6592242ba17a7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-75a6592242ba17a7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_behavior-4d6e7efae19cc6d1.d: crates/integration/../../tests/workload_behavior.rs
+
+/root/repo/target/debug/deps/workload_behavior-4d6e7efae19cc6d1: crates/integration/../../tests/workload_behavior.rs
+
+crates/integration/../../tests/workload_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_behavior-da701633688a6dbd.d: crates/integration/../../tests/workload_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_behavior-da701633688a6dbd.rmeta: crates/integration/../../tests/workload_behavior.rs Cargo.toml
+
+crates/integration/../../tests/workload_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xlmc-c5314cbfc1659608.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/xlmc-c5314cbfc1659608: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/correlation.rs:
+crates/core/src/estimator.rs:
+crates/core/src/flow.rs:
+crates/core/src/harden.rs:
+crates/core/src/lifetime.rs:
+crates/core/src/model.rs:
+crates/core/src/precharacterize.rs:
+crates/core/src/rng.rs:
+crates/core/src/sampling.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:

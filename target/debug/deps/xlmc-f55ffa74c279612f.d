@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xlmc-f55ffa74c279612f.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc-f55ffa74c279612f.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/correlation.rs:
+crates/core/src/estimator.rs:
+crates/core/src/flow.rs:
+crates/core/src/harden.rs:
+crates/core/src/lifetime.rs:
+crates/core/src/model.rs:
+crates/core/src/precharacterize.rs:
+crates/core/src/rng.rs:
+crates/core/src/sampling.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

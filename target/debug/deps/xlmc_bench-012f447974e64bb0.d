@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xlmc_bench-012f447974e64bb0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xlmc_bench-012f447974e64bb0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

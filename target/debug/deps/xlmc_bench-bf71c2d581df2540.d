@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xlmc_bench-bf71c2d581df2540.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxlmc_bench-bf71c2d581df2540.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxlmc_bench-bf71c2d581df2540.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

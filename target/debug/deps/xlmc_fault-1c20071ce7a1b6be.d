@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xlmc_fault-1c20071ce7a1b6be.d: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+/root/repo/target/debug/deps/libxlmc_fault-1c20071ce7a1b6be.rlib: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+/root/repo/target/debug/deps/libxlmc_fault-1c20071ce7a1b6be.rmeta: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/distribution.rs:
+crates/fault/src/sample.rs:
+crates/fault/src/spot.rs:

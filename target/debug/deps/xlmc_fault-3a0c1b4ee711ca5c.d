@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xlmc_fault-3a0c1b4ee711ca5c.d: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+/root/repo/target/debug/deps/xlmc_fault-3a0c1b4ee711ca5c: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/distribution.rs:
+crates/fault/src/sample.rs:
+crates/fault/src/spot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xlmc_fault-90781d6d8e7b6ab3.d: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_fault-90781d6d8e7b6ab3.rmeta: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/distribution.rs:
+crates/fault/src/sample.rs:
+crates/fault/src/spot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xlmc_fault-a7388f3bc29b02a9.d: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_fault-a7388f3bc29b02a9.rmeta: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/distribution.rs:
+crates/fault/src/sample.rs:
+crates/fault/src/spot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

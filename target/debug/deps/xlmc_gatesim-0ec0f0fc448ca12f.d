@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xlmc_gatesim-0ec0f0fc448ca12f.d: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+/root/repo/target/debug/deps/xlmc_gatesim-0ec0f0fc448ca12f: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+crates/gatesim/src/lib.rs:
+crates/gatesim/src/bitparallel.rs:
+crates/gatesim/src/cycle.rs:
+crates/gatesim/src/glitch.rs:
+crates/gatesim/src/signature.rs:
+crates/gatesim/src/sta.rs:
+crates/gatesim/src/transient.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xlmc_gatesim-6ccaa4f1a3152381.d: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+/root/repo/target/debug/deps/libxlmc_gatesim-6ccaa4f1a3152381.rlib: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+/root/repo/target/debug/deps/libxlmc_gatesim-6ccaa4f1a3152381.rmeta: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+crates/gatesim/src/lib.rs:
+crates/gatesim/src/bitparallel.rs:
+crates/gatesim/src/cycle.rs:
+crates/gatesim/src/glitch.rs:
+crates/gatesim/src/signature.rs:
+crates/gatesim/src/sta.rs:
+crates/gatesim/src/transient.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xlmc_gatesim-fc4eed21c78eb898.d: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_gatesim-fc4eed21c78eb898.rmeta: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs Cargo.toml
+
+crates/gatesim/src/lib.rs:
+crates/gatesim/src/bitparallel.rs:
+crates/gatesim/src/cycle.rs:
+crates/gatesim/src/glitch.rs:
+crates/gatesim/src/signature.rs:
+crates/gatesim/src/sta.rs:
+crates/gatesim/src/transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xlmc_integration-26fad867498c9187.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libxlmc_integration-26fad867498c9187.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libxlmc_integration-26fad867498c9187.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xlmc_integration-9a72addca7689d08.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/xlmc_integration-9a72addca7689d08: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

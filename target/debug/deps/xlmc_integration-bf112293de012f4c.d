@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xlmc_integration-bf112293de012f4c.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_integration-bf112293de012f4c.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

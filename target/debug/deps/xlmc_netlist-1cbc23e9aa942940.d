@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xlmc_netlist-1cbc23e9aa942940.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_netlist-1cbc23e9aa942940.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cones.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/unroll.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xlmc_netlist-5f74695d943d64a8.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libxlmc_netlist-5f74695d943d64a8.rlib: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libxlmc_netlist-5f74695d943d64a8.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cones.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/unroll.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xlmc_netlist-8b4a6ae1cc51c1bf.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/xlmc_netlist-8b4a6ae1cc51c1bf: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cones.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/unroll.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xlmc_soc-35172d3cb32d71be.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/core.rs crates/soc/src/dma.rs crates/soc/src/golden.rs crates/soc/src/isa.rs crates/soc/src/mpu.rs crates/soc/src/mpu_synth.rs crates/soc/src/soc.rs crates/soc/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxlmc_soc-35172d3cb32d71be.rmeta: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/core.rs crates/soc/src/dma.rs crates/soc/src/golden.rs crates/soc/src/isa.rs crates/soc/src/mpu.rs crates/soc/src/mpu_synth.rs crates/soc/src/soc.rs crates/soc/src/workloads.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/core.rs:
+crates/soc/src/dma.rs:
+crates/soc/src/golden.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mpu.rs:
+crates/soc/src/mpu_synth.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xlmc_soc-3e2d94cb475b37b7.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/core.rs crates/soc/src/dma.rs crates/soc/src/golden.rs crates/soc/src/isa.rs crates/soc/src/mpu.rs crates/soc/src/mpu_synth.rs crates/soc/src/soc.rs crates/soc/src/workloads.rs
+
+/root/repo/target/debug/deps/libxlmc_soc-3e2d94cb475b37b7.rlib: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/core.rs crates/soc/src/dma.rs crates/soc/src/golden.rs crates/soc/src/isa.rs crates/soc/src/mpu.rs crates/soc/src/mpu_synth.rs crates/soc/src/soc.rs crates/soc/src/workloads.rs
+
+/root/repo/target/debug/deps/libxlmc_soc-3e2d94cb475b37b7.rmeta: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/core.rs crates/soc/src/dma.rs crates/soc/src/golden.rs crates/soc/src/isa.rs crates/soc/src/mpu.rs crates/soc/src/mpu_synth.rs crates/soc/src/soc.rs crates/soc/src/workloads.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/core.rs:
+crates/soc/src/dma.rs:
+crates/soc/src/golden.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mpu.rs:
+crates/soc/src/mpu_synth.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/workloads.rs:

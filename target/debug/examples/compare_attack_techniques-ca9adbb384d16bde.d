@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_attack_techniques-ca9adbb384d16bde.d: crates/core/../../examples/compare_attack_techniques.rs
+
+/root/repo/target/debug/examples/compare_attack_techniques-ca9adbb384d16bde: crates/core/../../examples/compare_attack_techniques.rs
+
+crates/core/../../examples/compare_attack_techniques.rs:

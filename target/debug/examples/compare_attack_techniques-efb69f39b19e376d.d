@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_attack_techniques-efb69f39b19e376d.d: crates/core/../../examples/compare_attack_techniques.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_attack_techniques-efb69f39b19e376d.rmeta: crates/core/../../examples/compare_attack_techniques.rs Cargo.toml
+
+crates/core/../../examples/compare_attack_techniques.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/harden_registers-9830769af2c4d260.d: crates/core/../../examples/harden_registers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libharden_registers-9830769af2c4d260.rmeta: crates/core/../../examples/harden_registers.rs Cargo.toml
+
+crates/core/../../examples/harden_registers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harden_registers-a96ed47baf6a4257.d: crates/core/../../examples/harden_registers.rs
+
+/root/repo/target/debug/examples/harden_registers-a96ed47baf6a4257: crates/core/../../examples/harden_registers.rs
+
+crates/core/../../examples/harden_registers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mpu_attack_campaign-4df52f77911edaf3.d: crates/core/../../examples/mpu_attack_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmpu_attack_campaign-4df52f77911edaf3.rmeta: crates/core/../../examples/mpu_attack_campaign.rs Cargo.toml
+
+crates/core/../../examples/mpu_attack_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpu_attack_campaign-f8a26eb358234865.d: crates/core/../../examples/mpu_attack_campaign.rs
+
+/root/repo/target/debug/examples/mpu_attack_campaign-f8a26eb358234865: crates/core/../../examples/mpu_attack_campaign.rs
+
+crates/core/../../examples/mpu_attack_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7fe351eed69348bf.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7fe351eed69348bf: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

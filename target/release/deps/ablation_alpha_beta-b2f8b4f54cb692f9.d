@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha_beta-b2f8b4f54cb692f9.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/release/deps/ablation_alpha_beta-b2f8b4f54cb692f9: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_campaign-214b12d84a6ac4cf.d: crates/bench/src/bin/bench_campaign.rs
+
+/root/repo/target/release/deps/bench_campaign-214b12d84a6ac4cf: crates/bench/src/bin/bench_campaign.rs
+
+crates/bench/src/bin/bench_campaign.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b200f00769e91b2f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b200f00769e91b2f.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b200f00769e91b2f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

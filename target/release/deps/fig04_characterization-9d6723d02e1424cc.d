@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_characterization-9d6723d02e1424cc.d: crates/bench/src/bin/fig04_characterization.rs
+
+/root/repo/target/release/deps/fig04_characterization-9d6723d02e1424cc: crates/bench/src/bin/fig04_characterization.rs
+
+crates/bench/src/bin/fig04_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_error_patterns-3abda61b2bda0595.d: crates/bench/src/bin/fig07_error_patterns.rs
+
+/root/repo/target/release/deps/fig07_error_patterns-3abda61b2bda0595: crates/bench/src/bin/fig07_error_patterns.rs
+
+crates/bench/src/bin/fig07_error_patterns.rs:

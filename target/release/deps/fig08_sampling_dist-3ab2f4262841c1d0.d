@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_sampling_dist-3ab2f4262841c1d0.d: crates/bench/src/bin/fig08_sampling_dist.rs
+
+/root/repo/target/release/deps/fig08_sampling_dist-3ab2f4262841c1d0: crates/bench/src/bin/fig08_sampling_dist.rs
+
+crates/bench/src/bin/fig08_sampling_dist.rs:

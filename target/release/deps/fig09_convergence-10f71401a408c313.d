@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_convergence-10f71401a408c313.d: crates/bench/src/bin/fig09_convergence.rs
+
+/root/repo/target/release/deps/fig09_convergence-10f71401a408c313: crates/bench/src/bin/fig09_convergence.rs
+
+crates/bench/src/bin/fig09_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_outcome_split-74c59ab4ef0d421a.d: crates/bench/src/bin/fig10_outcome_split.rs
+
+/root/repo/target/release/deps/fig10_outcome_split-74c59ab4ef0d421a: crates/bench/src/bin/fig10_outcome_split.rs
+
+crates/bench/src/bin/fig10_outcome_split.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_attack_uncertainty-d3919d77a694d799.d: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+/root/repo/target/release/deps/fig11_attack_uncertainty-d3919d77a694d799: crates/bench/src/bin/fig11_attack_uncertainty.rs
+
+crates/bench/src/bin/fig11_attack_uncertainty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hardening_study-b03e7bba80e4012a.d: crates/bench/src/bin/hardening_study.rs
+
+/root/repo/target/release/deps/hardening_study-b03e7bba80e4012a: crates/bench/src/bin/hardening_study.rs
+
+crates/bench/src/bin/hardening_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-b892da321b660b51.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-b892da321b660b51: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d243eafe236272db.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d243eafe236272db.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d243eafe236272db.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-266d13a32f81aaf4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-266d13a32f81aaf4.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-266d13a32f81aaf4.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

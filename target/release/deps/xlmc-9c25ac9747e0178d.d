@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/xlmc-9c25ac9747e0178d.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libxlmc-9c25ac9747e0178d.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libxlmc-9c25ac9747e0178d.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/correlation.rs crates/core/src/estimator.rs crates/core/src/flow.rs crates/core/src/harden.rs crates/core/src/lifetime.rs crates/core/src/model.rs crates/core/src/precharacterize.rs crates/core/src/rng.rs crates/core/src/sampling.rs crates/core/src/space.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/correlation.rs:
+crates/core/src/estimator.rs:
+crates/core/src/flow.rs:
+crates/core/src/harden.rs:
+crates/core/src/lifetime.rs:
+crates/core/src/model.rs:
+crates/core/src/precharacterize.rs:
+crates/core/src/rng.rs:
+crates/core/src/sampling.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:

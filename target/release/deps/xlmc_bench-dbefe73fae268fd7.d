@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xlmc_bench-dbefe73fae268fd7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxlmc_bench-dbefe73fae268fd7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxlmc_bench-dbefe73fae268fd7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

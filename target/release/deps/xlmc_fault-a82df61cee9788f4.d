@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xlmc_fault-a82df61cee9788f4.d: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+/root/repo/target/release/deps/libxlmc_fault-a82df61cee9788f4.rlib: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+/root/repo/target/release/deps/libxlmc_fault-a82df61cee9788f4.rmeta: crates/fault/src/lib.rs crates/fault/src/distribution.rs crates/fault/src/sample.rs crates/fault/src/spot.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/distribution.rs:
+crates/fault/src/sample.rs:
+crates/fault/src/spot.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xlmc_gatesim-889f9475fc60400c.d: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+/root/repo/target/release/deps/libxlmc_gatesim-889f9475fc60400c.rlib: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+/root/repo/target/release/deps/libxlmc_gatesim-889f9475fc60400c.rmeta: crates/gatesim/src/lib.rs crates/gatesim/src/bitparallel.rs crates/gatesim/src/cycle.rs crates/gatesim/src/glitch.rs crates/gatesim/src/signature.rs crates/gatesim/src/sta.rs crates/gatesim/src/transient.rs
+
+crates/gatesim/src/lib.rs:
+crates/gatesim/src/bitparallel.rs:
+crates/gatesim/src/cycle.rs:
+crates/gatesim/src/glitch.rs:
+crates/gatesim/src/signature.rs:
+crates/gatesim/src/sta.rs:
+crates/gatesim/src/transient.rs:

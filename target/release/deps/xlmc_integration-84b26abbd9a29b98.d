@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xlmc_integration-84b26abbd9a29b98.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libxlmc_integration-84b26abbd9a29b98.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libxlmc_integration-84b26abbd9a29b98.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

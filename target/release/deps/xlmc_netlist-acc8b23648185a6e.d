@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xlmc_netlist-acc8b23648185a6e.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libxlmc_netlist-acc8b23648185a6e.rlib: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/release/deps/libxlmc_netlist-acc8b23648185a6e.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/cones.rs crates/netlist/src/netlist.rs crates/netlist/src/placement.rs crates/netlist/src/topo.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/cones.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/topo.rs:
+crates/netlist/src/unroll.rs:
+crates/netlist/src/verilog.rs:

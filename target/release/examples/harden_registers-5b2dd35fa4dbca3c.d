@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/harden_registers-5b2dd35fa4dbca3c.d: crates/core/../../examples/harden_registers.rs
+
+/root/repo/target/release/examples/harden_registers-5b2dd35fa4dbca3c: crates/core/../../examples/harden_registers.rs
+
+crates/core/../../examples/harden_registers.rs:

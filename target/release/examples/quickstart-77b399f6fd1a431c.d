@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-77b399f6fd1a431c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-77b399f6fd1a431c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

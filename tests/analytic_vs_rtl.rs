@@ -64,7 +64,11 @@ fn multi_bit_agreement() {
     let sets: Vec<Vec<MpuBit>> = vec![
         vec![MpuBit::Enable, MpuBit::Base(2, 3)],
         vec![MpuBit::Limit(0, 13), MpuBit::Limit(0, 14)],
-        vec![MpuBit::Limit(0, 13), MpuBit::Base(3, 0), MpuBit::Perms(2, 1)],
+        vec![
+            MpuBit::Limit(0, 13),
+            MpuBit::Base(3, 0),
+            MpuBit::Perms(2, 1),
+        ],
         vec![MpuBit::Base(0, 13), MpuBit::Limit(0, 13)],
         vec![MpuBit::Perms(1, 1), MpuBit::Limit(1, 12)],
         vec![MpuBit::StickyViol, MpuBit::Limit(0, 13)],

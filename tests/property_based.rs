@@ -33,9 +33,7 @@ fn gate_plan() -> impl Strategy<Value = GatePlan> {
 /// inputs and one named output.
 fn build_netlist(plans: &[GatePlan]) -> Netlist {
     let mut n = Netlist::new();
-    let mut ids: Vec<GateId> = (0..3)
-        .map(|i| n.add_input(format!("in{i}")))
-        .collect();
+    let mut ids: Vec<GateId> = (0..3).map(|i| n.add_input(format!("in{i}"))).collect();
     let mut dffs = 0;
     for plan in plans {
         let pick = |seed: usize| ids[seed % ids.len()];
@@ -203,7 +201,7 @@ proptest! {
         let stim: Vec<Vec<bool>> = (0..cycles)
             .map(|c| {
                 (0..3)
-                    .map(|i| (seed.wrapping_mul(c as u64 * 3 + i + 1)) % 3 == 0)
+                    .map(|i| (seed.wrapping_mul(c as u64 * 3 + i + 1)).is_multiple_of(3))
                     .collect()
             })
             .collect();
@@ -360,5 +358,87 @@ proptest! {
             prop_assert_eq!(out.upset_dffs.clone(), vec![d]);
             prop_assert!(out.faulty_registers().contains(&d));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-engine determinism
+// ---------------------------------------------------------------------------
+
+/// Shared expensive fixture for the campaign determinism property: the
+/// full system model, golden run and pre-characterization, built once.
+struct CampaignFixture {
+    model: xlmc::SystemModel,
+    eval: xlmc::Evaluation,
+    prechar: xlmc::Precharacterization,
+    cfg: xlmc::sampling::ExperimentConfig,
+}
+
+fn campaign_fixture() -> &'static CampaignFixture {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<CampaignFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let model = xlmc::SystemModel::with_defaults().unwrap();
+        let eval = xlmc::Evaluation::new(xlmc_soc::workloads::illegal_write()).unwrap();
+        let cfg = xlmc::sampling::ExperimentConfig {
+            t_max: 16,
+            ..Default::default()
+        };
+        let prechar = xlmc::Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        CampaignFixture {
+            model,
+            eval,
+            prechar,
+            cfg,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharded campaign engine is a pure scheduling choice: for any
+    /// strategy, run count and seed, a 4-worker campaign returns the
+    /// bit-identical result of the sequential one — estimate, variance,
+    /// class split, attribution and convergence trace included.
+    #[test]
+    fn campaign_is_bit_identical_across_thread_counts(
+        strategy_idx in 0usize..3,
+        n in 1usize..220,
+        seed in any::<u64>(),
+    ) {
+        use xlmc::estimator::{run_campaign_with, CampaignOptions};
+        use xlmc::flow::FaultRunner;
+        use xlmc::sampling::{
+            baseline_distribution, ConeSampling, ImportanceSampling, RandomSampling,
+            SamplingStrategy,
+        };
+
+        let f = campaign_fixture();
+        let runner = FaultRunner {
+            model: &f.model,
+            eval: &f.eval,
+            prechar: &f.prechar,
+            hardening: None,
+        };
+        let fd = baseline_distribution(&f.model, &f.cfg);
+        let strategy: Box<dyn SamplingStrategy> = match strategy_idx {
+            0 => Box::new(RandomSampling::new(fd)),
+            1 => Box::new(ConeSampling::new(fd, &f.prechar, f.cfg.radius_options.clone())),
+            _ => Box::new(ImportanceSampling::new(
+                fd,
+                &f.model,
+                &f.prechar,
+                f.cfg.alpha,
+                f.cfg.beta,
+                f.cfg.radius_options.clone(),
+            )),
+        };
+
+        let sequential =
+            run_campaign_with(&runner, strategy.as_ref(), n, seed, &CampaignOptions::with_threads(1));
+        let sharded =
+            run_campaign_with(&runner, strategy.as_ref(), n, seed, &CampaignOptions::with_threads(4));
+        prop_assert_eq!(sequential, sharded);
     }
 }

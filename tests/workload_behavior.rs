@@ -1,9 +1,7 @@
 //! Behavioral invariants of the golden runs of every shipped workload.
 
 use xlmc_soc::golden::GoldenRun;
-use xlmc_soc::workloads::{
-    self, ATTACK_VALUE, LEAK_ADDR, SECRET_ADDR, SECRET_VALUE,
-};
+use xlmc_soc::workloads::{self, ATTACK_VALUE, LEAK_ADDR, SECRET_ADDR, SECRET_VALUE};
 use xlmc_soc::Master;
 
 fn record(w: &workloads::Workload) -> GoldenRun {
@@ -80,7 +78,11 @@ fn read_benchmark_security_invariants() {
     let w = workloads::illegal_read();
     let run = record(&w);
     let soc = &run.final_soc;
-    assert_ne!(soc.mem_word(LEAK_ADDR), SECRET_VALUE, "secret must not leak");
+    assert_ne!(
+        soc.mem_word(LEAK_ADDR),
+        SECRET_VALUE,
+        "secret must not leak"
+    );
     assert_eq!(soc.core.isolated, 1);
     let blocked: Vec<_> = run.access_trace.iter().filter(|a| !a.allowed).collect();
     assert_eq!(blocked.len(), 1);

@@ -1,0 +1,303 @@
+//! Offline miniature benchmark harness.
+//!
+//! Implements the slice of the `criterion` 0.5 API this workspace's
+//! benches use — `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups, `Bencher::{iter, iter_batched}` and `BatchSize` —
+//! with honest wall-clock measurement: per benchmark it warms up briefly,
+//! then times batches of iterations and reports the mean, min and max
+//! time per iteration to stdout.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness =
+//! false` bench targets), every benchmark body runs exactly once as a
+//! smoke test and no timing is printed, mirroring upstream behavior.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. Only a hint here; the stub
+/// always runs one setup per measured routine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Re-export of the standard black box, like upstream provides.
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    /// Smoke-test mode (`cargo test` passing `--test`): run once, no timing.
+    smoke: bool,
+}
+
+impl Mode {
+    fn detect() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Self { smoke }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::detect(),
+            sample_size: 60,
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.mode.smoke {
+            return;
+        }
+        if b.samples.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        b.samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let lo = b.samples[0];
+        let hi = b.samples[b.samples.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mean),
+            fmt_ns(hi)
+        );
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Set the target measurement time for this group (accepted and
+    /// currently folded into the global setting).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size the batch so one sample costs roughly
+        // measurement / sample_size.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement.as_nanos() / self.sample_size.max(1) as u128;
+        let batch = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(input));
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement.as_nanos() / self.sample_size.max(1) as u128;
+        let batch = (per_sample / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion {
+            mode: Mode { smoke: false },
+            sample_size: 5,
+            measurement: Duration::from_millis(10),
+        };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion {
+            mode: Mode { smoke: false },
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline `serde` stub.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No trait machinery is provided because nothing in the
+//! workspace serializes through serde at runtime (reports are hand-written
+//! text/JSON); swapping the real crate back in is a one-line change in the
+//! workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};

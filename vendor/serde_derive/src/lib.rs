@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only uses serde derives as declarations of intent — no
+//! code path serializes anything yet (there is no format crate in the
+//! offline build). The derives therefore expand to nothing, which keeps
+//! every `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute
+//! compiling without pulling in the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
