@@ -1,28 +1,35 @@
-//! Campaign-engine throughput benchmark: runs/sec of the sharded
-//! zero-allocation engine against a sequential seed-style baseline.
+//! Campaign-engine throughput benchmark: runs/sec of the batched and
+//! scalar kernels against a sequential seed-style baseline.
 //!
 //! The baseline reproduces the pre-sharding engine: one shared `StdRng`,
 //! the allocating [`FaultRunner::run`] per attack (fresh cycle values,
 //! fresh strike buffers, cloned checkpoint on every RTL resume). The
-//! engine rows use [`run_campaign_with`] at 1, 2 and 4 worker threads —
-//! same number of runs, same flow, per-run `SplitMix64` streams and a
-//! reusable per-worker scratch.
+//! `scalar_threads_1` row is the sharded engine with the one-run-at-a-time
+//! kernel; the `engine_threads_N` rows are the default 64-lane batched
+//! kernel at 1, 2 and 4 worker threads — same number of runs, same flow,
+//! per-run `SplitMix64` streams, bit-identical results across every row
+//! but the baseline (whose RNG scheme predates per-run streams).
 //!
-//! Results land in `BENCH_campaign.json` next to the working directory,
-//! one object per configuration with runs/sec and the speedup over the
+//! Results land in `BENCH_campaign.json` in the working directory, one
+//! object per configuration with runs/sec and the speedup over the
 //! baseline.
+//!
+//! `--smoke` runs a reduced campaign and **fails** (exit 1) if the batched
+//! kernel's single-thread throughput drops below the scalar kernel's — the
+//! CI regression gate for the lane-packing fast path.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
-use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::estimator::{run_campaign_with, CampaignKernel, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
 use xlmc::stats::RunningStats;
 use xlmc_bench::ExperimentContext;
 
-const RUNS: usize = 20_000;
+const RUNS: usize = 100_000;
+const SMOKE_RUNS: usize = 20_000;
 const SEED: u64 = 0xBE7C;
 
 struct Row {
@@ -34,11 +41,11 @@ struct Row {
 
 /// The seed engine, verbatim: sequential, one shared RNG, allocating
 /// per-run path.
-fn baseline(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy) -> Row {
+fn baseline(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy, runs: usize) -> Row {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut stats = RunningStats::new();
     let start = Instant::now();
-    for _ in 0..RUNS {
+    for _ in 0..runs {
         let sample = strategy.draw(&mut rng);
         let w = strategy.weight(&sample);
         let outcome = runner.run(&sample, &mut rng);
@@ -47,26 +54,38 @@ fn baseline(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy) -> Row {
     let elapsed = start.elapsed().as_secs_f64();
     Row {
         label: "baseline_sequential".into(),
-        runs_per_sec: RUNS as f64 / elapsed,
+        runs_per_sec: runs as f64 / elapsed,
         elapsed_s: elapsed,
         ssf: stats.mean(),
     }
 }
 
-fn engine(runner: &FaultRunner<'_>, strategy: &dyn SamplingStrategy, threads: usize) -> Row {
-    let opts = CampaignOptions::with_threads(threads);
+fn engine(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    runs: usize,
+    threads: usize,
+    kernel: CampaignKernel,
+    label: String,
+) -> Row {
+    let opts = CampaignOptions {
+        threads,
+        ..CampaignOptions::with_kernel(kernel)
+    };
     let start = Instant::now();
-    let r = run_campaign_with(runner, strategy, RUNS, SEED, &opts);
+    let r = run_campaign_with(runner, strategy, runs, SEED, &opts);
     let elapsed = start.elapsed().as_secs_f64();
     Row {
-        label: format!("engine_threads_{threads}"),
-        runs_per_sec: RUNS as f64 / elapsed,
+        label,
+        runs_per_sec: runs as f64 / elapsed,
         elapsed_s: elapsed,
         ssf: r.ssf,
     }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runs = if smoke { SMOKE_RUNS } else { RUNS };
     eprintln!("[bench_campaign] building model and golden runs ...");
     let ctx = ExperimentContext::build();
     let runner = FaultRunner {
@@ -85,15 +104,32 @@ fn main() {
         ctx.cfg.radius_options.clone(),
     );
 
-    eprintln!("[bench_campaign] {RUNS} importance-sampled attacks per configuration ...");
-    let mut rows = vec![baseline(&runner, &strategy)];
+    eprintln!("[bench_campaign] {runs} importance-sampled attacks per configuration ...");
+    let mut rows = vec![
+        baseline(&runner, &strategy, runs),
+        engine(
+            &runner,
+            &strategy,
+            runs,
+            1,
+            CampaignKernel::Scalar,
+            "scalar_threads_1".into(),
+        ),
+    ];
     for threads in [1, 2, 4] {
-        rows.push(engine(&runner, &strategy, threads));
+        rows.push(engine(
+            &runner,
+            &strategy,
+            runs,
+            threads,
+            CampaignKernel::Batched,
+            format!("engine_threads_{threads}"),
+        ));
     }
 
     let base_rate = rows[0].runs_per_sec;
     let mut json = String::from("{\n  \"runs\": ");
-    let _ = write!(json, "{RUNS},\n  \"seed\": {SEED},\n  \"configs\": [\n");
+    let _ = write!(json, "{runs},\n  \"seed\": {SEED},\n  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
@@ -109,9 +145,11 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    if !smoke {
+        std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    }
 
-    println!("\n== campaign throughput ({RUNS} runs, importance sampling) ==");
+    println!("\n== campaign throughput ({runs} runs, importance sampling) ==");
     for r in &rows {
         println!(
             "  {:22} {:>9.1} runs/s  ({:.2}s, {:.2}x baseline)",
@@ -121,5 +159,34 @@ fn main() {
             r.runs_per_sec / base_rate
         );
     }
-    println!("wrote BENCH_campaign.json");
+
+    let scalar = rows
+        .iter()
+        .find(|r| r.label == "scalar_threads_1")
+        .expect("scalar row");
+    let batched = rows
+        .iter()
+        .find(|r| r.label == "engine_threads_1")
+        .expect("batched row");
+    assert!(
+        scalar.ssf == batched.ssf,
+        "kernel results diverged: scalar ssf {} != batched ssf {}",
+        scalar.ssf,
+        batched.ssf
+    );
+    if smoke {
+        if batched.runs_per_sec < scalar.runs_per_sec {
+            eprintln!(
+                "SMOKE FAIL: batched kernel ({:.0} runs/s) slower than scalar ({:.0} runs/s)",
+                batched.runs_per_sec, scalar.runs_per_sec
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: batched {:.0} runs/s >= scalar {:.0} runs/s",
+            batched.runs_per_sec, scalar.runs_per_sec
+        );
+    } else {
+        println!("wrote BENCH_campaign.json");
+    }
 }

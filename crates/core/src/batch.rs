@@ -1,0 +1,437 @@
+//! Batched campaign chunk execution over the 64-lane transient kernel.
+//!
+//! One chunk of runs is executed in three phases:
+//!
+//! 1. **Draw** (scalar): each run's sample, weight and RNG come from
+//!    `SplitMix64::for_run(seed, run_index)` exactly as in the scalar
+//!    engine — batching never touches the per-run random streams.
+//! 2. **Strike** (packed): in-run samples are stratified by injection
+//!    cycle (sorted by `(T_e, run_index)` so runs sharing a frame land in
+//!    the same lane batch), grouped into batches of up to
+//!    [`LANES`](xlmc_gatesim::LANES) lanes, and propagated through
+//!    [`TransientSim::strike_batch_with`](xlmc_gatesim::transient::TransientSim)
+//!    in one worklist pass per batch.
+//! 3. **Conclude + fold** (scalar): each lane's latched pattern goes
+//!    through the unchanged hardening/classification/resume pipeline with
+//!    its own RNG, and the per-run results are folded into the chunk
+//!    partial **in run-index order**, so the Welford/Chan statistics are
+//!    bit-identical to the scalar engine's at any thread count and any
+//!    lane assignment.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use xlmc_fault::{AttackSample, LaneStrikes};
+use xlmc_gatesim::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, CycleValues, LANES};
+use xlmc_netlist::GateId;
+use xlmc_soc::{MpuBit, Soc};
+
+use crate::estimator::{fold_run, ChunkPartial};
+use crate::flow::{Concluded, FaultRunner, StrikeClass};
+use crate::rng::SplitMix64;
+use crate::sampling::SamplingStrategy;
+
+/// Campaign-wide memo of the per-cycle stable netlist values.
+///
+/// The injection-cycle values are a pure function of `T_e` on the golden
+/// run, so every worker shares one lazily-filled slot per cycle instead of
+/// re-deriving its own copy — the duplicated per-worker warmup was the
+/// main multi-thread overhead of the scalar engine.
+pub(crate) struct SharedCycleCache {
+    slots: Vec<OnceLock<CycleValues>>,
+}
+
+impl SharedCycleCache {
+    /// An empty cache covering `cycles` golden cycles.
+    pub(crate) fn new(cycles: u64) -> Self {
+        Self {
+            slots: (0..cycles).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The stable values of injection cycle `te` (computed once per
+    /// campaign, whichever worker gets there first).
+    fn get<'c>(&'c self, runner: &FaultRunner<'_>, te: u64) -> &'c CycleValues {
+        self.slots[te as usize].get_or_init(|| {
+            let golden = &runner.eval.golden;
+            let netlist = runner.model.mpu.netlist();
+            let mut state = Vec::new();
+            let mut inputs = Vec::new();
+            runner
+                .model
+                .mpu
+                .state_vector_into(&golden.mpu_states[te as usize], &mut state);
+            let stim = &golden.stimulus[te as usize];
+            runner
+                .model
+                .mpu
+                .input_values_into(stim.request, stim.cfg_write, &mut inputs);
+            let mut cv = CycleValues::default();
+            runner
+                .model
+                .cycle_sim
+                .eval_into(netlist, &state, &inputs, &mut cv);
+            cv
+        })
+    }
+}
+
+/// One run's scalar-phase products: the drawn sample, its importance
+/// weight, and the RNG state *after* the draw (the only later consumer is
+/// the hardening filter, which runs lane-by-lane in the conclude phase).
+struct RunDraw {
+    sample: AttackSample,
+    w: f64,
+    rng: SplitMix64,
+}
+
+/// One run's concluded outcome, buffered until the run-order fold.
+struct RunRecord {
+    success: bool,
+    class: StrikeClass,
+    analytic: bool,
+    bits: Vec<MpuBit>,
+}
+
+impl RunRecord {
+    fn empty() -> Self {
+        Self {
+            success: false,
+            class: StrikeClass::Masked,
+            analytic: false,
+            bits: Vec::new(),
+        }
+    }
+}
+
+/// Reusable per-worker buffers for [`run_chunk_batched`]. Like
+/// [`FlowScratch`](crate::flow::FlowScratch), the conclusion memo and
+/// resume system are valid against one `(model, evaluation, prechar)`
+/// triple only.
+#[derive(Default)]
+pub(crate) struct BatchChunkScratch {
+    draws: Vec<RunDraw>,
+    te: Vec<Option<u64>>,
+    /// In-chunk indices of in-run samples, sorted by `(T_e, index)`.
+    order: Vec<u32>,
+    lane_strikes: LaneStrikes,
+    transient: BatchTransientScratch,
+    strike_out: BatchStrikeOutcome,
+    faulty_regs: Vec<GateId>,
+    faulty_bits: Vec<MpuBit>,
+    records: Vec<RunRecord>,
+    resume_soc: Option<Soc>,
+    conclude_memo: HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
+}
+
+impl std::fmt::Debug for BatchChunkScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchChunkScratch").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+impl BatchChunkScratch {
+    /// Run `i` of the last executed chunk, as
+    /// `(success, class, analytic, faulty_bits, weight)` — the per-run
+    /// observables the lane-equivalence tests compare against the scalar
+    /// engine.
+    fn recorded(&self, i: usize) -> (bool, StrikeClass, bool, &[MpuBit], f64) {
+        let r = &self.records[i];
+        (r.success, r.class, r.analytic, &r.bits, self.draws[i].w)
+    }
+}
+
+/// Execute runs `start..end` through the 64-lane batched kernel.
+///
+/// Produces the same [`ChunkPartial`] as the scalar
+/// [`run_chunk`](crate::estimator) bit-for-bit: per-run samples, weights,
+/// strike outcomes, hardening draws and the fold order are all identical;
+/// only the transient propagation is shared across lanes.
+pub(crate) fn run_chunk_batched(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut BatchChunkScratch,
+    cycles: &SharedCycleCache,
+) -> ChunkPartial {
+    let m = end - start;
+    scratch.draws.clear();
+    scratch.te.clear();
+    scratch.order.clear();
+    if scratch.records.len() < m {
+        scratch.records.resize_with(m, RunRecord::empty);
+    }
+
+    // Phase 1: scalar draws, identical to the scalar engine.
+    let golden_cycles = runner.eval.golden.cycles;
+    for i in 0..m {
+        let mut rng = SplitMix64::for_run(seed, (start + i) as u64);
+        let sample = strategy.draw(&mut rng);
+        let w = strategy.weight(&sample);
+        let te = sample
+            .injection_cycle(runner.eval.target_cycle)
+            .filter(|&te| te < golden_cycles);
+        match te {
+            Some(_) => scratch.order.push(i as u32),
+            None => {
+                // Out-of-run: masked without a strike, like the scalar path.
+                let rec = &mut scratch.records[i];
+                rec.success = false;
+                rec.class = StrikeClass::Masked;
+                rec.analytic = false;
+                rec.bits.clear();
+            }
+        }
+        scratch.te.push(te);
+        scratch.draws.push(RunDraw { sample, w, rng });
+    }
+
+    // Stratify: same-frame runs share batches (fewer value groups per
+    // batch), and the `(T_e, index)` key keeps the grouping a pure function
+    // of the chunk contents — independent of threads and lane assignment.
+    {
+        let te = &scratch.te;
+        scratch
+            .order
+            .sort_unstable_by_key(|&i| (te[i as usize].unwrap(), i));
+    }
+
+    // Phase 2 + 3: strike each batch in one packed pass, conclude per lane.
+    let period = runner.model.transient.config().clock_period_ps;
+    let netlist = runner.model.mpu.netlist();
+    for batch in scratch.order.chunks(LANES) {
+        scratch.lane_strikes.clear();
+        for &ri in batch {
+            scratch.lane_strikes.push_sample(
+                &scratch.draws[ri as usize].sample,
+                &runner.model.placement,
+                period,
+            );
+        }
+        let mut groups: Vec<(u64, &CycleValues)> = Vec::new();
+        let mut cur_te = scratch.te[batch[0] as usize].unwrap();
+        let mut mask = 0u64;
+        for (lane, &ri) in batch.iter().enumerate() {
+            let te = scratch.te[ri as usize].unwrap();
+            if te != cur_te {
+                groups.push((mask, cycles.get(runner, cur_te)));
+                cur_te = te;
+                mask = 0;
+            }
+            mask |= 1u64 << lane;
+        }
+        groups.push((mask, cycles.get(runner, cur_te)));
+        let lanes: Vec<BatchLane<'_>> = (0..batch.len())
+            .map(|l| BatchLane {
+                struck: scratch.lane_strikes.struck(l),
+                strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
+            })
+            .collect();
+        runner.model.transient.strike_batch_with(
+            netlist,
+            &groups,
+            &lanes,
+            &mut scratch.transient,
+            &mut scratch.strike_out,
+        );
+        drop(lanes);
+
+        for (lane, &ri) in batch.iter().enumerate() {
+            let ri = ri as usize;
+            let te = scratch.te[ri].unwrap();
+            scratch
+                .strike_out
+                .faulty_registers_into(lane, &mut scratch.faulty_regs);
+            scratch.faulty_bits.clear();
+            scratch.faulty_bits.extend(
+                scratch
+                    .faulty_regs
+                    .iter()
+                    .filter_map(|&d| runner.model.mpu.bit_of(d)),
+            );
+            let view = runner.conclude_with(
+                te,
+                &mut scratch.draws[ri].rng,
+                &mut scratch.faulty_bits,
+                &mut scratch.resume_soc,
+                &mut scratch.conclude_memo,
+            );
+            let rec = &mut scratch.records[ri];
+            rec.success = view.success;
+            rec.class = view.class;
+            rec.analytic = view.analytic;
+            rec.bits.clear();
+            rec.bits.extend_from_slice(view.faulty_bits);
+        }
+    }
+
+    // Fold in run-index order: the Welford push sequence must match the
+    // scalar engine exactly.
+    let mut p = ChunkPartial::default();
+    for i in 0..m {
+        let rec = &scratch.records[i];
+        fold_run(
+            &mut p,
+            rec.class,
+            rec.analytic,
+            rec.success,
+            scratch.draws[i].w,
+            &rec.bits,
+        );
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowScratch;
+    use crate::harden::{HardenedSet, HardeningModel};
+    use crate::model::{Evaluation, SystemModel};
+    use crate::precharacterize::Precharacterization;
+    use crate::sampling::{
+        baseline_distribution, ConeSampling, ExperimentConfig, ImportanceSampling, RandomSampling,
+    };
+    use xlmc_soc::workloads;
+
+    struct Fixture {
+        model: SystemModel,
+        eval: Evaluation,
+        prechar: Precharacterization,
+        cfg: ExperimentConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let model = SystemModel::with_defaults().unwrap();
+        let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 20,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        Fixture {
+            model,
+            eval,
+            prechar,
+            cfg,
+        }
+    }
+
+    fn strategies(f: &Fixture) -> Vec<Box<dyn SamplingStrategy>> {
+        let fd = baseline_distribution(&f.model, &f.cfg);
+        vec![
+            Box::new(RandomSampling::new(fd.clone())),
+            Box::new(ConeSampling::new(
+                fd.clone(),
+                &f.prechar,
+                f.cfg.radius_options.clone(),
+            )),
+            Box::new(ImportanceSampling::new(
+                fd,
+                &f.model,
+                &f.prechar,
+                f.cfg.alpha,
+                f.cfg.beta,
+                f.cfg.radius_options.clone(),
+            )),
+        ]
+    }
+
+    /// The lane-equivalence property at system level: for every run of a
+    /// full chunk, the batched kernel's (outcome, weight) is bit-identical
+    /// to the scalar engine's — across all three sampling strategies, with
+    /// and without the randomized hardening countermeasure (which exercises
+    /// the per-lane RNG hand-off).
+    #[test]
+    fn batched_chunk_runs_match_scalar_runs() {
+        let f = fixture();
+        let hardened = HardenedSet::new(
+            [xlmc_soc::MpuBit::Violation, xlmc_soc::MpuBit::Enable],
+            HardeningModel::default(),
+        );
+        for hardening in [None, Some(&hardened)] {
+            let runner = FaultRunner {
+                model: &f.model,
+                eval: &f.eval,
+                prechar: &f.prechar,
+                hardening,
+            };
+            for strat in strategies(&f) {
+                for seed in [3u64, 77] {
+                    let n = 200;
+                    let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+                    let mut bscratch = BatchChunkScratch::default();
+                    run_chunk_batched(&runner, strat.as_ref(), seed, 0, n, &mut bscratch, &cache);
+
+                    let mut flow = FlowScratch::default();
+                    for i in 0..n {
+                        let mut rng = SplitMix64::for_run(seed, i as u64);
+                        let sample = strat.draw(&mut rng);
+                        let w = strat.weight(&sample);
+                        let out = runner.run_with(&sample, &mut rng, &mut flow);
+                        let (bs, bc, ba, bbits, bw) = bscratch.recorded(i);
+                        let ctx = format!(
+                            "strategy {} seed {seed} run {i} hardened {}",
+                            strat.name(),
+                            hardening.is_some()
+                        );
+                        assert_eq!(bs, out.success, "{ctx}");
+                        assert_eq!(bc, out.class, "{ctx}");
+                        assert_eq!(ba, out.analytic, "{ctx}");
+                        assert_eq!(bbits, out.faulty_bits, "{ctx}");
+                        assert!(bw == w, "{ctx}: weight {bw} != {w}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched partial equals the scalar partial field by field (the
+    /// stats fold is the bit-identical aggregate of the per-run check
+    /// above — this pins the fold order too).
+    #[test]
+    fn batched_partial_matches_scalar_partial() {
+        let f = fixture();
+        let runner = FaultRunner {
+            model: &f.model,
+            eval: &f.eval,
+            prechar: &f.prechar,
+            hardening: None,
+        };
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+        let mut bscratch = BatchChunkScratch::default();
+        let mut flow = FlowScratch::default();
+        // Also covers partial batches: 1, 63, 64, 65 runs.
+        for (start, len) in [(0usize, 1usize), (1, 63), (64, 64), (128, 65), (193, 128)] {
+            let b = run_chunk_batched(
+                &runner,
+                &strat,
+                9,
+                start,
+                start + len,
+                &mut bscratch,
+                &cache,
+            );
+            let s = crate::estimator::scalar_chunk_for_tests(
+                &runner,
+                &strat,
+                9,
+                start,
+                start + len,
+                &mut flow,
+            );
+            assert_eq!(b.stats.count(), s.stats.count(), "len {len}");
+            assert!(b.stats.mean() == s.stats.mean(), "len {len} mean");
+            assert!(b.stats.variance() == s.stats.variance(), "len {len} var");
+            assert_eq!(b.class_counts, s.class_counts, "len {len}");
+            assert_eq!(b.analytic_runs, s.analytic_runs, "len {len}");
+            assert_eq!(b.rtl_runs, s.rtl_runs, "len {len}");
+            assert_eq!(b.successes, s.successes, "len {len}");
+            assert_eq!(b.attribution, s.attribution, "len {len}");
+        }
+    }
+}

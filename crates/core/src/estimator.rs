@@ -8,6 +8,7 @@
 //! analytic-vs-RTL run counts, and the per-register SSF attribution that
 //! drives the hardening study.
 
+use crate::batch::{run_chunk_batched, BatchChunkScratch, SharedCycleCache};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
@@ -17,10 +18,14 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xlmc_soc::MpuBit;
 
-/// Runs per shard. Fixed — independent of the thread count — so the chunk
-/// partition, and therefore every merged statistic, is a pure function of
-/// `(seed, n, strategy)`.
-const CHUNK_RUNS: usize = 32;
+/// Runs per shard. Fixed — independent of the thread count and of the
+/// kernel — so the chunk partition, and therefore every merged statistic,
+/// is a pure function of `(seed, n, strategy)`. Eight full 64-lane batches
+/// per shard: the batched kernel stratifies a shard's runs by injection
+/// frame before packing lanes, so a bigger shard means longer same-frame
+/// stretches and fewer cycle-value groups per batch. The trace stays usable
+/// because `trace_points` caps its resolution anyway.
+const CHUNK_RUNS: usize = 512;
 
 /// Counts of strike outcomes by class (paper Figure 10(a)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,10 +92,27 @@ impl CampaignResult {
     }
 }
 
+/// Which per-chunk executor the campaign engine uses.
+///
+/// Both kernels produce bit-identical [`CampaignResult`]s (the lane
+/// batching is transparent down to the last `f64` ulp); `Batched` is the
+/// default because it amortizes each transient cone traversal over up to
+/// 64 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CampaignKernel {
+    /// One run at a time through [`FaultRunner::run_with`].
+    Scalar,
+    /// Up to 64 runs per packed transient pass
+    /// (`TransientSim::strike_batch_with`).
+    #[default]
+    Batched,
+}
+
 /// Knobs of the campaign engine, shared by every figure binary.
 ///
-/// The thread count is a pure scheduling choice: campaign results are
-/// bit-identical at any `threads` value (see [`crate::rng`]).
+/// The thread count and the kernel are pure scheduling choices: campaign
+/// results are bit-identical at any `threads` value and under either
+/// kernel (see [`crate::rng`] and [`CampaignKernel`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignOptions {
     /// Worker threads; `0` means one per available core.
@@ -98,6 +120,8 @@ pub struct CampaignOptions {
     /// Upper bound on convergence-trace points (the trace records the
     /// running estimate at shard boundaries, downsampled to this many).
     pub trace_points: usize,
+    /// The per-chunk executor.
+    pub kernel: CampaignKernel,
 }
 
 impl Default for CampaignOptions {
@@ -105,6 +129,7 @@ impl Default for CampaignOptions {
         Self {
             threads: 1,
             trace_points: 200,
+            kernel: CampaignKernel::default(),
         }
     }
 }
@@ -118,8 +143,17 @@ impl CampaignOptions {
         }
     }
 
-    /// Parse `--threads N` from the process arguments (used by the figure
-    /// binaries); anything else is left for the caller.
+    /// Options with an explicit kernel.
+    pub fn with_kernel(kernel: CampaignKernel) -> Self {
+        Self {
+            kernel,
+            ..Self::default()
+        }
+    }
+
+    /// Parse `--threads N` and `--kernel scalar|batched` from the process
+    /// arguments (used by the figure binaries); anything else is left for
+    /// the caller.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
         let mut args = std::env::args().skip(1);
@@ -132,9 +166,23 @@ impl CampaignOptions {
                 if let Ok(v) = v.parse() {
                     opts.threads = v;
                 }
+            } else if a == "--kernel" {
+                if let Some(v) = args.next() {
+                    opts.set_kernel_arg(&v);
+                }
+            } else if let Some(v) = a.strip_prefix("--kernel=") {
+                opts.set_kernel_arg(v);
             }
         }
         opts
+    }
+
+    fn set_kernel_arg(&mut self, v: &str) {
+        match v {
+            "scalar" => self.kernel = CampaignKernel::Scalar,
+            "batched" => self.kernel = CampaignKernel::Batched,
+            other => eprintln!("ignoring unknown --kernel value {other:?}"),
+        }
     }
 
     /// The concrete worker count (resolving `0` to the core count).
@@ -151,18 +199,54 @@ impl CampaignOptions {
 
 /// Everything one shard of runs accumulates; merged in shard order.
 #[derive(Debug, Default)]
-struct ChunkPartial {
-    stats: RunningStats,
-    class_counts: ClassCounts,
-    analytic_runs: usize,
-    rtl_runs: usize,
-    successes: usize,
-    attribution: BTreeMap<MpuBit, f64>,
+pub(crate) struct ChunkPartial {
+    pub(crate) stats: RunningStats,
+    pub(crate) class_counts: ClassCounts,
+    pub(crate) analytic_runs: usize,
+    pub(crate) rtl_runs: usize,
+    pub(crate) successes: usize,
+    pub(crate) attribution: BTreeMap<MpuBit, f64>,
 }
 
-/// Execute runs `start..end` of the campaign. Each run's generator comes
-/// from `(seed, run_index)` alone, so a shard computes the same partial on
-/// any worker.
+/// Fold one run's outcome into a shard partial. Both kernels route every
+/// run through this single accumulator (in run-index order), so the
+/// Welford push sequence — and with it every campaign statistic — cannot
+/// drift between the scalar and batched engines.
+pub(crate) fn fold_run(
+    p: &mut ChunkPartial,
+    class: StrikeClass,
+    analytic: bool,
+    success: bool,
+    w: f64,
+    faulty_bits: &[MpuBit],
+) {
+    match class {
+        StrikeClass::Masked => p.class_counts.masked += 1,
+        StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
+        StrikeClass::Mixed => p.class_counts.mixed += 1,
+    }
+    if class != StrikeClass::Masked {
+        if analytic {
+            p.analytic_runs += 1;
+        } else {
+            p.rtl_runs += 1;
+        }
+    }
+    let x = if success {
+        p.successes += 1;
+        for &bit in faulty_bits {
+            *p.attribution.entry(bit).or_insert(0.0) += w;
+        }
+        w
+    } else {
+        0.0
+    };
+    p.stats.push(x);
+}
+
+/// Execute runs `start..end` of the campaign, one at a time. Each run's
+/// generator comes from `(seed, run_index)` alone, so a shard computes the
+/// same partial on any worker.
 fn run_chunk(
     runner: &FaultRunner<'_>,
     strategy: &dyn SamplingStrategy,
@@ -177,30 +261,30 @@ fn run_chunk(
         let sample = strategy.draw(&mut rng);
         let w = strategy.weight(&sample);
         let outcome = runner.run_with(&sample, &mut rng, scratch);
-        match outcome.class {
-            StrikeClass::Masked => p.class_counts.masked += 1,
-            StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
-            StrikeClass::Mixed => p.class_counts.mixed += 1,
-        }
-        if outcome.class != StrikeClass::Masked {
-            if outcome.analytic {
-                p.analytic_runs += 1;
-            } else {
-                p.rtl_runs += 1;
-            }
-        }
-        let x = if outcome.success {
-            p.successes += 1;
-            for &bit in outcome.faulty_bits {
-                *p.attribution.entry(bit).or_insert(0.0) += w;
-            }
-            w
-        } else {
-            0.0
-        };
-        p.stats.push(x);
+        fold_run(
+            &mut p,
+            outcome.class,
+            outcome.analytic,
+            outcome.success,
+            w,
+            outcome.faulty_bits,
+        );
     }
     p
+}
+
+/// The scalar chunk executor, exposed to the crate's lane-equivalence
+/// tests as the reference implementation.
+#[cfg(test)]
+pub(crate) fn scalar_chunk_for_tests(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut FlowScratch,
+) -> ChunkPartial {
+    run_chunk(runner, strategy, seed, start, end, scratch)
 }
 
 /// Run a campaign of `n` attacks with the given strategy and seed
@@ -232,20 +316,28 @@ pub fn run_campaign_with(
     let chunks = n.div_ceil(CHUNK_RUNS);
     let threads = options.effective_threads().clamp(1, chunks.max(1));
     let chunk_bounds = |c: usize| (c * CHUNK_RUNS, ((c + 1) * CHUNK_RUNS).min(n));
+    // Workers of the batched kernel share one lazily-filled cycle-value
+    // cache (the values are a pure function of the injection cycle), so
+    // adding threads no longer multiplies the warmup work.
+    let cycle_cache = match options.kernel {
+        CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
+        CampaignKernel::Scalar => None,
+    };
+    let run_one =
+        |c: usize, flow: &mut FlowScratch, batch: &mut BatchChunkScratch| -> ChunkPartial {
+            let (start, end) = chunk_bounds(c);
+            match &cycle_cache {
+                Some(cache) => run_chunk_batched(runner, strategy, seed, start, end, batch, cache),
+                None => run_chunk(runner, strategy, seed, start, end, flow),
+            }
+        };
 
     let mut slots: Vec<Option<ChunkPartial>> = Vec::with_capacity(chunks);
     if threads <= 1 {
-        let mut scratch = FlowScratch::default();
+        let mut flow = FlowScratch::default();
+        let mut batch = BatchChunkScratch::default();
         for c in 0..chunks {
-            let (start, end) = chunk_bounds(c);
-            slots.push(Some(run_chunk(
-                runner,
-                strategy,
-                seed,
-                start,
-                end,
-                &mut scratch,
-            )));
+            slots.push(Some(run_one(c, &mut flow, &mut batch)));
         }
     } else {
         slots.resize_with(chunks, || None);
@@ -254,18 +346,15 @@ pub fn run_campaign_with(
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut scratch = FlowScratch::default();
+                        let mut flow = FlowScratch::default();
+                        let mut batch = BatchChunkScratch::default();
                         let mut local = Vec::new();
                         loop {
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= chunks {
                                 break;
                             }
-                            let (start, end) = chunk_bounds(c);
-                            local.push((
-                                c,
-                                run_chunk(runner, strategy, seed, start, end, &mut scratch),
-                            ));
+                            local.push((c, run_one(c, &mut flow, &mut batch)));
                         }
                         local
                     })
@@ -512,6 +601,94 @@ mod tests {
             assert_eq!(sequential.attribution, parallel.attribution);
             assert_eq!(sequential.trace, parallel.trace);
         }
+    }
+
+    #[test]
+    fn kernel_choice_does_not_change_the_result() {
+        // The full campaign result — estimate, variance, trace, class
+        // split, attribution — is bit-identical between the scalar and the
+        // 64-lane batched kernel, for every strategy and thread count.
+        let f = fixture();
+        let r = runner(&f);
+        let fd = baseline_distribution(&f.model, &f.cfg);
+        let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+            Box::new(RandomSampling::new(fd.clone())),
+            Box::new(crate::sampling::ConeSampling::new(
+                fd.clone(),
+                &f.prechar,
+                f.cfg.radius_options.clone(),
+            )),
+            Box::new(ImportanceSampling::new(
+                fd,
+                &f.model,
+                &f.prechar,
+                f.cfg.alpha,
+                f.cfg.beta,
+                f.cfg.radius_options.clone(),
+            )),
+        ];
+        for strat in &strategies {
+            let scalar = run_campaign_with(
+                &r,
+                strat.as_ref(),
+                500,
+                17,
+                &CampaignOptions::with_kernel(CampaignKernel::Scalar),
+            );
+            for threads in [1usize, 2, 4] {
+                let opts = CampaignOptions {
+                    threads,
+                    ..CampaignOptions::with_kernel(CampaignKernel::Batched)
+                };
+                let batched = run_campaign_with(&r, strat.as_ref(), 500, 17, &opts);
+                assert_eq!(
+                    scalar,
+                    batched,
+                    "strategy {} threads {threads}",
+                    strat.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_handles_partial_tail_batches() {
+        // runs % 64 != 0 must not drop or duplicate runs: the batched
+        // result equals the scalar reference at every tail shape.
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 191] {
+            let scalar = run_campaign_with(
+                &r,
+                &strat,
+                n,
+                23,
+                &CampaignOptions::with_kernel(CampaignKernel::Scalar),
+            );
+            let batched = run_campaign_with(
+                &r,
+                &strat,
+                n,
+                23,
+                &CampaignOptions::with_kernel(CampaignKernel::Batched),
+            );
+            assert_eq!(scalar.n, n);
+            assert_eq!(scalar.class_counts.total(), n, "n = {n}");
+            assert_eq!(scalar, batched, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn kernel_arg_parses() {
+        let mut opts = CampaignOptions::default();
+        assert_eq!(opts.kernel, CampaignKernel::Batched);
+        opts.set_kernel_arg("scalar");
+        assert_eq!(opts.kernel, CampaignKernel::Scalar);
+        opts.set_kernel_arg("batched");
+        assert_eq!(opts.kernel, CampaignKernel::Batched);
+        opts.set_kernel_arg("bogus");
+        assert_eq!(opts.kernel, CampaignKernel::Batched);
     }
 
     #[test]

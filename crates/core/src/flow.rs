@@ -103,15 +103,30 @@ impl RunView<'_> {
     }
 }
 
+/// The memoized downstream verdict of one `(T_e, post-hardening bits)`
+/// pair. Everything after the hardening filter — classification, analytic
+/// evaluation, RTL resume — is a pure function of the injection cycle and
+/// the surviving error bits, so repeated error patterns (common under
+/// importance sampling, which concentrates strikes on the same cells) skip
+/// the expensive resume entirely.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Concluded {
+    success: bool,
+    class: StrikeClass,
+    analytic: bool,
+}
+
 /// Reusable per-worker buffers for [`FaultRunner::run_with`].
 ///
-/// Holds every transient allocation of the flow, plus two memos that are
-/// valid **only against one `(model, evaluation)` pair**: the netlist cycle
-/// values keyed by injection cycle (the golden run makes them a pure
-/// function of `T_e`), and the resident RTL-resume system that checkpoint
-/// restores copy into instead of cloning. Never move one scratch between
-/// runners with different models or evaluations; within one campaign the
-/// engine keeps a scratch per worker.
+/// Holds every transient allocation of the flow, plus three memos that are
+/// valid **only against one `(model, evaluation, prechar)` triple**: the
+/// netlist cycle values keyed by injection cycle (the golden run makes them
+/// a pure function of `T_e`), the conclusion memo keyed by `(T_e,
+/// post-hardening bits)` (see [`Concluded`]), and the resident RTL-resume
+/// system that checkpoint restores copy into instead of cloning. Never move
+/// one scratch between runners with different models, evaluations or
+/// pre-characterizations; within one campaign the engine keeps a scratch
+/// per worker.
 #[derive(Debug, Default)]
 pub struct FlowScratch {
     cycle_cache: HashMap<u64, CycleValues>,
@@ -123,6 +138,7 @@ pub struct FlowScratch {
     faulty_regs: Vec<GateId>,
     faulty_bits: Vec<MpuBit>,
     resume_soc: Option<Soc>,
+    conclude_memo: HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
 }
 
 /// Executes attack runs against one evaluation setup.
@@ -217,6 +233,7 @@ impl FaultRunner<'_> {
             faulty_regs,
             faulty_bits,
             resume_soc,
+            conclude_memo,
         } = scratch;
 
         let netlist = self.model.mpu.netlist();
@@ -258,7 +275,7 @@ impl FaultRunner<'_> {
         strike_out.faulty_registers_into(faulty_regs);
         faulty_bits.clear();
         faulty_bits.extend(faulty_regs.iter().filter_map(|&d| self.model.mpu.bit_of(d)));
-        self.conclude_with(te, rng, faulty_bits, resume_soc)
+        self.conclude_with(te, rng, faulty_bits, resume_soc, conclude_memo)
     }
 
     /// Execute one clock-glitch attack: shorten the capture period of the
@@ -296,17 +313,22 @@ impl FaultRunner<'_> {
     /// computation classification, analytic evaluation or RTL resume.
     fn conclude(&self, te: u64, mut faulty_bits: Vec<MpuBit>, rng: &mut impl Rng) -> AttackOutcome {
         let mut slot = None;
-        self.conclude_with(te, rng, &mut faulty_bits, &mut slot)
+        let mut memo = HashMap::new();
+        self.conclude_with(te, rng, &mut faulty_bits, &mut slot, &mut memo)
             .to_outcome()
     }
 
     /// [`FaultRunner::conclude`] writing into scratch-owned storage.
-    fn conclude_with<'s>(
+    ///
+    /// RNG consumption (the hardening filter) happens *before* the memo key
+    /// is formed, so caching never perturbs the per-run random stream.
+    pub(crate) fn conclude_with<'s>(
         &self,
         te: u64,
         rng: &mut impl Rng,
         faulty_bits: &'s mut Vec<MpuBit>,
         resume_soc: &mut Option<Soc>,
+        memo: &mut HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
     ) -> RunView<'s> {
         if let Some(h) = self.hardening {
             faulty_bits.retain(|&b| h.flip_survives(b, rng));
@@ -321,6 +343,17 @@ impl FaultRunner<'_> {
             };
         }
 
+        let te_memo = memo.entry(te).or_default();
+        if let Some(&c) = te_memo.get(faulty_bits.as_slice()) {
+            return RunView {
+                success: c.success,
+                class: c.class,
+                faulty_bits,
+                analytic: c.analytic,
+                injection_cycle: Some(te),
+            };
+        }
+
         let class = if faulty_bits
             .iter()
             .all(|&b| self.prechar.registers.kind(b) == RegisterKind::Memory)
@@ -330,29 +363,31 @@ impl FaultRunner<'_> {
             StrikeClass::Mixed
         };
 
-        // Memory-type-only strikes go to the analytical evaluator.
-        if class == StrikeClass::MemoryOnly {
-            match analytic::evaluate(self.eval, faulty_bits, te) {
-                AnalyticVerdict::NotApplicable => {}
-                verdict => {
-                    return RunView {
-                        success: verdict == AnalyticVerdict::Success,
-                        class,
-                        faulty_bits,
-                        analytic: true,
-                        injection_cycle: Some(te),
-                    };
+        // Memory-type-only strikes go to the analytical evaluator; anything
+        // it declines (and every computation-touching strike) goes through
+        // the RTL resume from the nearest golden checkpoint.
+        let (success, analytic) = match class {
+            StrikeClass::MemoryOnly => match analytic::evaluate(self.eval, faulty_bits, te) {
+                AnalyticVerdict::NotApplicable => {
+                    (self.rtl_resume_in(te, faulty_bits, resume_soc), false)
                 }
-            }
-        }
-
-        // RTL resume from the nearest golden checkpoint.
-        let success = self.rtl_resume_in(te, faulty_bits, resume_soc);
+                verdict => (verdict == AnalyticVerdict::Success, true),
+            },
+            _ => (self.rtl_resume_in(te, faulty_bits, resume_soc), false),
+        };
+        te_memo.insert(
+            faulty_bits.as_slice().into(),
+            Concluded {
+                success,
+                class,
+                analytic,
+            },
+        );
         RunView {
             success,
             class,
             faulty_bits,
-            analytic: false,
+            analytic,
             injection_cycle: Some(te),
         }
     }

@@ -62,6 +62,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub mod analytic;
+mod batch;
 pub mod correlation;
 pub mod estimator;
 pub mod flow;

@@ -224,6 +224,11 @@ impl Frame {
 #[derive(Debug, Clone)]
 struct FramedStrategy {
     f: AttackDistribution,
+    /// Sorted copy of `f`'s spatial support: the per-run weight path needs
+    /// `f`'s center mass, and [`SpatialDist::pmf`] is a linear scan over
+    /// the sub-block — a binary search here keeps `weight` O(log n).
+    f_support: Vec<GateId>,
+    /// Ascending by `t` (asserted in [`FramedStrategy::new`]).
     frames: Vec<Frame>,
     frame_cum: Vec<f64>,
     grand_total: f64,
@@ -242,8 +247,14 @@ impl FramedStrategy {
             acc > 0.0,
             "strategy support is empty: the cones do not intersect the attacker's sub-block"
         );
+        assert!(
+            frames.windows(2).all(|w| w[0].t < w[1].t),
+            "frames must be ascending by t"
+        );
+        let f_support = spatial_support(&f);
         Self {
             f,
+            f_support,
             frames,
             frame_cum,
             grand_total: acc,
@@ -251,11 +262,29 @@ impl FramedStrategy {
         }
     }
 
+    /// `f_{T,P}(s)`, bit-identical to [`AttackDistribution::pmf`] but with
+    /// the spatial mass answered by the sorted support copy.
+    fn f_pmf(&self, s: &AttackSample) -> f64 {
+        if s.phase >= PHASE_BINS {
+            return 0.0;
+        }
+        let spatial = if self.f_support.binary_search(&s.center).is_ok() {
+            match &self.f.spatial {
+                SpatialDist::UniformOverCells(cells) => 1.0 / cells.len() as f64,
+                SpatialDist::Delta(_) => 1.0,
+            }
+        } else {
+            0.0
+        };
+        self.f.temporal.pmf(s.t) * spatial * self.f.radius.pmf(s.radius) / f64::from(PHASE_BINS)
+    }
+
     /// `g(s)` of the strategy.
     fn pmf(&self, s: &AttackSample) -> f64 {
-        let Some(frame) = self.frames.iter().find(|fr| fr.t == s.t) else {
+        let Ok(idx) = self.frames.binary_search_by_key(&s.t, |fr| fr.t) else {
             return 0.0;
         };
+        let frame = &self.frames[idx];
         let Some(w) = frame.cell_weight(s.center) else {
             return 0.0;
         };
@@ -287,7 +316,7 @@ impl FramedStrategy {
             // when evaluating foreign samples.
             return 0.0;
         }
-        self.f.pmf(s) / g
+        self.f_pmf(s) / g
     }
 
     /// The marginal `g_T` over timing distances (paper Figure 8(a)).

@@ -14,7 +14,9 @@
 //!   construction of the paper's ref. \[18\]),
 //! * [`distribution`] — the attacker distribution `f_{T,P}` with exact
 //!   probability-mass evaluation (needed for importance-sampling weights),
-//! * [`sample`] — the concrete attack sample `(t, p)`.
+//! * [`sample`] — the concrete attack sample `(t, p)`,
+//! * [`batch`] — CSR-packed struck-cell lists for the 64-lane batched
+//!   campaign kernel (one spot query per lane, shared storage).
 //!
 //! # Example
 //!
@@ -33,10 +35,12 @@
 //! assert!(f.pmf(&s) > 0.0);
 //! ```
 
+pub mod batch;
 pub mod distribution;
 pub mod sample;
 pub mod spot;
 
+pub use batch::LaneStrikes;
 pub use distribution::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
 pub use sample::AttackSample;
 pub use spot::RadiationSpot;

@@ -1,0 +1,591 @@
+//! 64-lane batched transient simulation: one worklist pass, 64 strikes.
+//!
+//! The campaign's Monte Carlo runs are independent trials over the *same*
+//! netlist, so the transient propagation of up to 64 runs packs into the
+//! bit lanes of `u64` words exactly like the pre-characterization's
+//! bit-parallel logic evaluation ([`crate::bitparallel`]): lane `l` of
+//! every packed word belongs to run `l` of the batch. One rank-ordered
+//! worklist sweep then amortizes the cone traversal, the fanout lookups
+//! and the logical-masking gate evaluations across the whole batch, while
+//! the per-lane electrical and latching-window timing (scalar `f64` state)
+//! is only touched for lanes whose pulse actually survives logical masking
+//! at that gate.
+//!
+//! # Equivalence contract
+//!
+//! For every lane `l`, the outcome is **bit-identical** to
+//! [`TransientSim::strike_with`] called with that lane's strike list,
+//! stable values and strike time:
+//!
+//! * the same gates are seeded, with the same initial pulse,
+//! * propagation visits gates in the same topological-rank induction (a
+//!   gate pops only after every producer's pulses are final — the batch
+//!   queue is a superset union of the per-lane queues, and a popped gate
+//!   is a no-op in lanes it would not have visited),
+//! * logical masking is the identical predicate: packed nominal fanin
+//!   words are XOR-flipped by each fanin's pulsing-lane mask, so bit `l`
+//!   of `eval_words(flipped) ^ eval_words(nominal)` equals the scalar
+//!   `flipped != nominal` test of lane `l`,
+//! * the electrical `max`-fold over pulsing fanins runs in fanin order
+//!   with the same `fold(0.0, f64::max)` seed and the same *iterated*
+//!   attenuation subtraction (never an algebraically equal closed form),
+//! * the latching-window comparison and the sort/dedup of the faulty
+//!   register list are unchanged.
+//!
+//! Lanes of one batch may inject in *different* cycles: the caller passes
+//! the stable cycle values as `(lane_mask, &CycleValues)` groups and the
+//! kernel assembles per-gate packed nominal words from them on demand.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use xlmc_netlist::{CellKind, GateId, Netlist};
+
+use crate::cycle::CycleValues;
+use crate::transient::{StrikeOutcome, TransientSim};
+
+/// Maximum number of runs per batch — the lanes of a `u64`.
+pub const LANES: usize = 64;
+
+/// One lane's strike: the impacted cells and the particle-hit moment.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLane<'a> {
+    /// The struck cells of this lane's run (the radiation spot's disc).
+    pub struck: &'a [GateId],
+    /// The particle-hit moment within the cycle, ps after the launching
+    /// clock edge.
+    pub strike_time_ps: f64,
+}
+
+/// Per-lane results of one batched strike simulation.
+///
+/// Indexable by lane; lanes beyond the batch size report empty results.
+/// The per-lane vectors are retained across calls, so a warm outcome
+/// allocates nothing.
+#[derive(Debug, Clone)]
+pub struct BatchStrikeOutcome {
+    latched: Vec<Vec<GateId>>,
+    upset: Vec<Vec<GateId>>,
+    pulses: [usize; LANES],
+}
+
+impl Default for BatchStrikeOutcome {
+    fn default() -> Self {
+        Self {
+            latched: (0..LANES).map(|_| Vec::new()).collect(),
+            upset: (0..LANES).map(|_| Vec::new()).collect(),
+            pulses: [0; LANES],
+        }
+    }
+}
+
+impl BatchStrikeOutcome {
+    /// DFFs whose next-state bit lane `l`'s transient flipped (sorted).
+    pub fn latched_dffs(&self, lane: usize) -> &[GateId] {
+        &self.latched[lane]
+    }
+
+    /// DFFs lane `l` struck directly (SEU).
+    pub fn upset_dffs(&self, lane: usize) -> &[GateId] {
+        &self.upset[lane]
+    }
+
+    /// Number of gates that carried a propagating pulse in lane `l`.
+    pub fn pulses_propagated(&self, lane: usize) -> usize {
+        self.pulses[lane]
+    }
+
+    /// Lane `l`'s registers in error (deduplicated, sorted), identical to
+    /// [`StrikeOutcome::faulty_registers_into`].
+    pub fn faulty_registers_into(&self, lane: usize, out: &mut Vec<GateId>) {
+        out.clear();
+        out.extend_from_slice(&self.latched[lane]);
+        out.extend_from_slice(&self.upset[lane]);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Copy lane `l` into a scalar [`StrikeOutcome`].
+    pub fn lane_outcome(&self, lane: usize) -> StrikeOutcome {
+        StrikeOutcome {
+            latched_dffs: self.latched[lane].clone(),
+            upset_dffs: self.upset[lane].clone(),
+            pulses_propagated: self.pulses[lane],
+        }
+    }
+
+    fn clear(&mut self, lanes: usize) {
+        for l in 0..lanes.max(1) {
+            self.latched[l].clear();
+            self.upset[l].clear();
+        }
+        self.pulses = [0; LANES];
+    }
+}
+
+/// Reusable buffers for [`TransientSim::strike_batch_with`].
+///
+/// One scratch per worker. The packed pulse masks are reset through the
+/// `touched` list, so per-batch cost scales with the union of the struck
+/// fanout cones; the per-lane timing pools (`start`, `dur`, stride
+/// [`LANES`]) need no reset at all — a slot is only read when its lane bit
+/// is set in `pulse_lanes`.
+#[derive(Debug, Default)]
+pub struct BatchTransientScratch {
+    /// Per gate: mask of lanes with a pulse at this gate's output.
+    pulse_lanes: Vec<u64>,
+    /// Per (gate, lane): pulse start, valid iff the lane bit is set.
+    start: Vec<f64>,
+    /// Per (gate, lane): pulse duration, valid iff the lane bit is set.
+    dur: Vec<f64>,
+    /// Gates whose `pulse_lanes` entry is nonzero (for O(cone) reset).
+    touched: Vec<GateId>,
+    queue: BinaryHeap<Reverse<(u32, GateId)>>,
+    queued: Vec<bool>,
+    enqueued: Vec<GateId>,
+    ins_nom: Vec<u64>,
+    ins_flip: Vec<u64>,
+    /// Per net: cached packed nominal word, valid iff `nom_epoch` matches
+    /// the current batch's `epoch` (a shared fanin net is assembled from
+    /// the cycle-value groups once per batch, not once per consumer).
+    nom: Vec<u64>,
+    nom_epoch: Vec<u64>,
+    epoch: u64,
+}
+
+impl TransientSim {
+    /// Simulate up to [`LANES`] independent strikes in one batched pass.
+    ///
+    /// `te_groups` supplies the stable cycle values: each `(mask, values)`
+    /// pair covers the lanes set in `mask` (masks must be disjoint and
+    /// together cover every lane that strikes anything). `lanes[l]` is run
+    /// `l`'s strike; per-lane results land in `outcome`, bit-identical to
+    /// the scalar [`TransientSim::strike_with`] per the module contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes.len() > LANES`.
+    pub fn strike_batch_with(
+        &self,
+        netlist: &Netlist,
+        te_groups: &[(u64, &CycleValues)],
+        lanes: &[BatchLane<'_>],
+        scratch: &mut BatchTransientScratch,
+        outcome: &mut BatchStrikeOutcome,
+    ) {
+        assert!(lanes.len() <= LANES, "batch of {} lanes", lanes.len());
+        outcome.clear(lanes.len());
+
+        let n = netlist.len();
+        if scratch.pulse_lanes.len() < n {
+            scratch.pulse_lanes.resize(n, 0);
+            scratch.queued.resize(n, false);
+            scratch.start.resize(n * LANES, 0.0);
+            scratch.dur.resize(n * LANES, 0.0);
+            scratch.nom.resize(n, 0);
+            scratch.nom_epoch.resize(n, 0);
+        }
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        debug_assert!(scratch.touched.is_empty() && scratch.queue.is_empty());
+        debug_assert!(
+            {
+                let covered = te_groups.iter().fold(0u64, |m, &(g, _)| m | g);
+                lanes
+                    .iter()
+                    .enumerate()
+                    .all(|(l, lane)| lane.struck.is_empty() || covered & (1u64 << l) != 0)
+            },
+            "a striking lane has no cycle-value group"
+        );
+
+        // Seed every lane's struck cells (same rules as the scalar kernel:
+        // DFFs upset, source/marker cells inert, combinational cells pulse).
+        for (l, lane) in lanes.iter().enumerate() {
+            let bit = 1u64 << l;
+            for &g in lane.struck {
+                let gate = netlist.gate(g);
+                match gate.kind {
+                    CellKind::Dff => outcome.upset[l].push(g),
+                    CellKind::Input | CellKind::Const(_) | CellKind::Output => {}
+                    _ => {
+                        let pl = &mut scratch.pulse_lanes[g.index()];
+                        if *pl == 0 {
+                            scratch.touched.push(g);
+                        }
+                        if *pl & bit == 0 {
+                            outcome.pulses[l] += 1;
+                        }
+                        *pl |= bit;
+                        scratch.start[g.index() * LANES + l] = lane.strike_time_ps;
+                        scratch.dur[g.index() * LANES + l] = self.config().initial_duration_ps;
+                    }
+                }
+            }
+        }
+
+        // Propagate in rank order over the union cone. A gate pops once;
+        // lanes where it was struck keep their pulse, every other lane with
+        // a pulsing fanin is a flip candidate.
+        for i in 0..scratch.touched.len() {
+            self.enqueue_fanouts(
+                scratch.touched[i],
+                &mut scratch.queue,
+                &mut scratch.queued,
+                &mut scratch.enqueued,
+            );
+        }
+        let cfg = *self.config();
+        while let Some(Reverse((_, id))) = scratch.queue.pop() {
+            let existing = scratch.pulse_lanes[id.index()];
+            let gate = netlist.gate(id);
+            let mut any = 0u64;
+            for f in &gate.fanin {
+                any |= scratch.pulse_lanes[f.index()];
+            }
+            let candidates = any & !existing;
+            if candidates == 0 {
+                continue;
+            }
+            // Logical masking, all lanes at once: flip each fanin exactly in
+            // the lanes where it pulses and compare the packed outputs.
+            scratch.ins_nom.clear();
+            scratch.ins_flip.clear();
+            for f in &gate.fanin {
+                // Packed nominal value of the fanin net: lane l carries the
+                // stable value in lane l's injection cycle, assembled from
+                // the value groups once per net per batch.
+                let fi = f.index();
+                let w = if scratch.nom_epoch[fi] == epoch {
+                    scratch.nom[fi]
+                } else {
+                    let mut w = 0u64;
+                    for &(mask, cv) in te_groups {
+                        if cv.value(*f) {
+                            w |= mask;
+                        }
+                    }
+                    scratch.nom[fi] = w;
+                    scratch.nom_epoch[fi] = epoch;
+                    w
+                };
+                scratch.ins_nom.push(w);
+                scratch.ins_flip.push(w ^ scratch.pulse_lanes[fi]);
+            }
+            let nominal_out = gate.kind.eval_words(&scratch.ins_nom);
+            let flipped_out = gate.kind.eval_words(&scratch.ins_flip);
+            let mut flips = (nominal_out ^ flipped_out) & candidates;
+            if flips == 0 {
+                continue;
+            }
+            // Electrical masking per surviving lane: the scalar kernel's
+            // exact max-fold and iterated attenuation, fanins in order.
+            let mut new_lanes = 0u64;
+            while flips != 0 {
+                let l = flips.trailing_zeros() as usize;
+                flips &= flips - 1;
+                let bit = 1u64 << l;
+                let mut max_duration = 0.0f64;
+                let mut max_start = 0.0f64;
+                for f in &gate.fanin {
+                    if scratch.pulse_lanes[f.index()] & bit != 0 {
+                        let slot = f.index() * LANES + l;
+                        max_duration = max_duration.max(scratch.dur[slot]);
+                        max_start = max_start.max(scratch.start[slot]);
+                    }
+                }
+                let duration = max_duration - cfg.attenuation_ps;
+                if duration < cfg.min_duration_ps {
+                    continue;
+                }
+                let slot = id.index() * LANES + l;
+                scratch.start[slot] = max_start + gate.kind.delay_ps();
+                scratch.dur[slot] = duration;
+                new_lanes |= bit;
+                outcome.pulses[l] += 1;
+            }
+            if new_lanes == 0 {
+                continue;
+            }
+            if scratch.pulse_lanes[id.index()] == 0 {
+                scratch.touched.push(id);
+            }
+            scratch.pulse_lanes[id.index()] |= new_lanes;
+            self.enqueue_fanouts(
+                id,
+                &mut scratch.queue,
+                &mut scratch.queued,
+                &mut scratch.enqueued,
+            );
+        }
+
+        // Latching-window masking at each DFF's D pin, per lane.
+        let window_lo = cfg.clock_period_ps - cfg.setup_ps;
+        let window_hi = cfg.clock_period_ps + cfg.hold_ps;
+        for &dff in netlist.dffs() {
+            let d = netlist.gate(dff).fanin[0];
+            let mut pl = scratch.pulse_lanes[d.index()];
+            while pl != 0 {
+                let l = pl.trailing_zeros() as usize;
+                pl &= pl - 1;
+                let slot = d.index() * LANES + l;
+                let pulse_lo = scratch.start[slot];
+                let pulse_hi = pulse_lo + scratch.dur[slot];
+                if pulse_lo <= window_hi && pulse_hi >= window_lo {
+                    outcome.latched[l].push(dff);
+                }
+            }
+        }
+        for v in outcome.latched.iter_mut().take(lanes.len()) {
+            v.sort_unstable();
+        }
+
+        for &g in &scratch.touched {
+            scratch.pulse_lanes[g.index()] = 0;
+        }
+        scratch.touched.clear();
+        for &g in &scratch.enqueued {
+            scratch.queued[g.index()] = false;
+        }
+        scratch.enqueued.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleSim;
+    use crate::transient::{TransientConfig, TransientScratch};
+
+    /// A deterministic xorshift generator for structural fuzzing (no rand
+    /// dependency needed at this layer).
+    struct Xs(u64);
+    impl Xs {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Build a random layered netlist: `inputs` PIs, `gates` random
+    /// combinational cells over earlier nets, a DFF on every fourth gate.
+    fn random_netlist(seed: u64, inputs: usize, gates: usize) -> Netlist {
+        let mut rng = Xs(seed | 1);
+        let mut n = Netlist::new();
+        let mut nets: Vec<GateId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+        let kinds = [
+            CellKind::And,
+            CellKind::Or,
+            CellKind::Nand,
+            CellKind::Nor,
+            CellKind::Xor,
+            CellKind::Xnor,
+            CellKind::Not,
+            CellKind::Buf,
+            CellKind::Mux,
+        ];
+        for gi in 0..gates {
+            let kind = kinds[rng.below(kinds.len())];
+            let arity = match kind {
+                CellKind::Not | CellKind::Buf => 1,
+                CellKind::Mux => 3,
+                _ => 2,
+            };
+            let fanin: Vec<GateId> = (0..arity).map(|_| nets[rng.below(nets.len())]).collect();
+            let g = n.add_gate(kind, &fanin);
+            nets.push(g);
+            if gi % 4 == 3 {
+                n.add_dff(format!("q{gi}"), g);
+            }
+        }
+        n.add_output("y", *nets.last().unwrap());
+        n
+    }
+
+    fn tight() -> TransientConfig {
+        TransientConfig {
+            clock_period_ps: 600.0,
+            setup_ps: 90.0,
+            hold_ps: 40.0,
+            initial_duration_ps: 120.0,
+            attenuation_ps: 9.0,
+            min_duration_ps: 15.0,
+        }
+    }
+
+    /// The core property: every lane of the batched kernel is bit-identical
+    /// to the scalar kernel, across random netlists, random strike sets,
+    /// mixed strike times and mixed injection cycles (two value groups).
+    #[test]
+    fn batched_lanes_match_scalar_strikes() {
+        for seed in 1..=6u64 {
+            let n = random_netlist(seed * 0x9E37, 6, 120);
+            let sim = CycleSim::new(&n).unwrap();
+            let dffs = n.dffs().len();
+            let mut rng = Xs(seed.wrapping_mul(0xA5A5_1234) | 1);
+            // Two distinct "cycles": different register/input vectors.
+            let vec_for = |r: &mut Xs, len: usize| -> Vec<bool> {
+                (0..len).map(|_| r.next() & 1 == 1).collect()
+            };
+            let cv_a = sim.eval(&n, &vec_for(&mut rng, dffs), &vec_for(&mut rng, 6));
+            let cv_b = sim.eval(&n, &vec_for(&mut rng, dffs), &vec_for(&mut rng, 6));
+            let ts = TransientSim::new(&n, tight()).unwrap();
+
+            // Random lane count, including full and tiny batches.
+            let lane_count = [1usize, 7, 33, 64][rng.below(4)];
+            let candidates: Vec<GateId> = n.iter().map(|(id, _)| id).collect();
+            let strikes: Vec<(Vec<GateId>, f64)> = (0..lane_count)
+                .map(|_| {
+                    let k = rng.below(5);
+                    let cells: Vec<GateId> = (0..k)
+                        .map(|_| candidates[rng.below(candidates.len())])
+                        .collect();
+                    let t = (rng.below(600)) as f64;
+                    (cells, t)
+                })
+                .collect();
+            let mask_a: u64 = (0..lane_count)
+                .filter(|l| l % 3 != 0)
+                .fold(0, |m, l| m | 1u64 << l);
+            let mask_all = if lane_count == 64 {
+                !0u64
+            } else {
+                (1u64 << lane_count) - 1
+            };
+            let mask_b = mask_all & !mask_a;
+            let lanes: Vec<BatchLane> = strikes
+                .iter()
+                .map(|(cells, t)| BatchLane {
+                    struck: cells,
+                    strike_time_ps: *t,
+                })
+                .collect();
+
+            let mut bscratch = BatchTransientScratch::default();
+            let mut bout = BatchStrikeOutcome::default();
+            ts.strike_batch_with(
+                &n,
+                &[(mask_a, &cv_a), (mask_b, &cv_b)],
+                &lanes,
+                &mut bscratch,
+                &mut bout,
+            );
+
+            let mut sscratch = TransientScratch::default();
+            let mut sout = StrikeOutcome::default();
+            for (l, (cells, t)) in strikes.iter().enumerate() {
+                let cv = if mask_a & (1u64 << l) != 0 {
+                    &cv_a
+                } else {
+                    &cv_b
+                };
+                ts.strike_with(&n, cv, cells, *t, &mut sscratch, &mut sout);
+                assert_eq!(
+                    bout.latched_dffs(l),
+                    &sout.latched_dffs[..],
+                    "seed {seed} lane {l} latched"
+                );
+                assert_eq!(
+                    bout.upset_dffs(l),
+                    &sout.upset_dffs[..],
+                    "seed {seed} lane {l} upset"
+                );
+                assert_eq!(
+                    bout.pulses_propagated(l),
+                    sout.pulses_propagated,
+                    "seed {seed} lane {l} pulse count"
+                );
+                let mut want = Vec::new();
+                sout.faulty_registers_into(&mut want);
+                let mut got = Vec::new();
+                bout.faulty_registers_into(l, &mut got);
+                assert_eq!(got, want, "seed {seed} lane {l} faulty registers");
+            }
+        }
+    }
+
+    /// Scratch reuse across batches must not leak pulses between calls.
+    #[test]
+    fn batch_scratch_reuse_is_clean() {
+        let n = random_netlist(0xFEED, 4, 60);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &vec![true; n.dffs().len()], &[true, false, true, false]);
+        let ts = TransientSim::new(&n, tight()).unwrap();
+        let candidates: Vec<GateId> = n.iter().map(|(id, _)| id).collect();
+        let mut scratch = BatchTransientScratch::default();
+        let mut out = BatchStrikeOutcome::default();
+        let mut rng = Xs(77);
+        for round in 0..8 {
+            let strikes: Vec<Vec<GateId>> = (0..17)
+                .map(|_| {
+                    (0..rng.below(4))
+                        .map(|_| candidates[rng.below(candidates.len())])
+                        .collect()
+                })
+                .collect();
+            let lanes: Vec<BatchLane> = strikes
+                .iter()
+                .map(|cells| BatchLane {
+                    struck: cells,
+                    strike_time_ps: 500.0,
+                })
+                .collect();
+            ts.strike_batch_with(&n, &[(!0u64, &cv)], &lanes, &mut scratch, &mut out);
+            for (l, cells) in strikes.iter().enumerate() {
+                let fresh = ts.strike(&n, &cv, cells, 500.0);
+                assert_eq!(
+                    out.lane_outcome(l).latched_dffs,
+                    fresh.latched_dffs,
+                    "round {round}"
+                );
+                assert_eq!(
+                    out.lane_outcome(l).upset_dffs,
+                    fresh.upset_dffs,
+                    "round {round}"
+                );
+            }
+        }
+    }
+
+    /// A single-lane batch is exactly the scalar kernel.
+    #[test]
+    fn single_lane_batch_is_scalar() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let g = n.add_gate(CellKind::Not, &[a]);
+        let q = n.add_dff("q", g);
+        let sim = CycleSim::new(&n).unwrap();
+        let cv = sim.eval(&n, &[false], &[false]);
+        let cfg = TransientConfig {
+            clock_period_ps: 1_000.0,
+            setup_ps: 1_000.0,
+            hold_ps: 1_000.0,
+            initial_duration_ps: 500.0,
+            attenuation_ps: 0.0,
+            min_duration_ps: 1.0,
+        };
+        let ts = TransientSim::new(&n, cfg).unwrap();
+        let mut scratch = BatchTransientScratch::default();
+        let mut out = BatchStrikeOutcome::default();
+        ts.strike_batch_with(
+            &n,
+            &[(1, &cv)],
+            &[BatchLane {
+                struck: &[g],
+                strike_time_ps: 0.0,
+            }],
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.latched_dffs(0), &[q]);
+        assert!(out.upset_dffs(0).is_empty());
+        assert_eq!(out.pulses_propagated(0), 1);
+    }
+}

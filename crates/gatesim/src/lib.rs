@@ -15,6 +15,9 @@
 //! * [`transient`] — single-event-transient injection at struck cells,
 //!   propagation with logical/electrical masking, and latching-window
 //!   analysis at the flip-flops (paper §5.3, Figure 6),
+//! * [`batch`] — the 64-lane batched form of [`transient`]: up to 64
+//!   independent strikes packed into `u64` lanes and propagated in one
+//!   worklist pass, bit-identical per lane to the scalar kernel,
 //! * [`glitch`] — clock-glitch (timing-violation) fault modeling, the
 //!   second attack technique of the paper's holistic model.
 //!
@@ -40,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod bitparallel;
 pub mod cycle;
 pub mod glitch;
@@ -47,6 +51,7 @@ pub mod signature;
 pub mod sta;
 pub mod transient;
 
+pub use batch::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, LANES};
 pub use cycle::{CycleSim, CycleValues};
 pub use glitch::GlitchSim;
 pub use signature::{correlation, SwitchingSignature};

@@ -172,7 +172,7 @@ impl TransientSim {
     }
 
     /// Enqueue the combinational consumers of `g` that are not yet queued.
-    fn enqueue_fanouts(
+    pub(crate) fn enqueue_fanouts(
         &self,
         g: GateId,
         queue: &mut BinaryHeap<Reverse<(u32, GateId)>>,

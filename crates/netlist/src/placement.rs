@@ -41,6 +41,11 @@ pub struct Placement {
     positions: Vec<Option<Point>>,
     placeable: Vec<GateId>,
     side: usize,
+    /// Reverse map of the grid: `grid[row * side + col]` is the cell placed
+    /// at that lattice point (cells sit on exact integer coordinates), so a
+    /// radius query scans only the disc's bounding box instead of every
+    /// placeable cell.
+    grid: Vec<Option<GateId>>,
 }
 
 impl Placement {
@@ -93,6 +98,8 @@ impl Placement {
         }
 
         let mut positions = vec![None; netlist.len()];
+        let rows = order.len().div_ceil(side).max(1);
+        let mut grid = vec![None; rows * side];
         for (slot, &id) in order.iter().enumerate() {
             let row = slot / side;
             let col_raw = slot % side;
@@ -106,11 +113,13 @@ impl Placement {
                 x: col as f64,
                 y: row as f64,
             });
+            grid[row * side + col] = Some(id);
         }
         Self {
             positions,
             placeable,
             side,
+            grid,
         }
     }
 
@@ -144,11 +153,29 @@ impl Placement {
         let Some(c) = self.position(center) else {
             return;
         };
-        out.extend(self.placeable.iter().copied().filter(|&g| {
-            self.position(g)
-                .map(|p| p.distance(c) <= radius)
-                .unwrap_or(false)
-        }));
+        // Scan the disc's bounding box on the lattice; the exact Euclidean
+        // predicate below keeps the result set identical to a full scan.
+        let r = radius.max(0.0);
+        let rows = self.grid.len() / self.side;
+        let row_lo = ((c.y - r).ceil().max(0.0)) as usize;
+        let row_hi = ((c.y + r).floor() as usize).min(rows.saturating_sub(1));
+        let col_lo = ((c.x - r).ceil().max(0.0)) as usize;
+        let col_hi = ((c.x + r).floor() as usize).min(self.side - 1);
+        for row in row_lo..=row_hi {
+            for col in col_lo..=col_hi {
+                if let Some(g) = self.grid[row * self.side + col] {
+                    let p = Point {
+                        x: col as f64,
+                        y: row as f64,
+                    };
+                    if p.distance(c) <= radius {
+                        out.push(g);
+                    }
+                }
+            }
+        }
+        // The linear scan this replaces returned cells in id order.
+        out.sort_unstable();
     }
 }
 
@@ -224,6 +251,36 @@ mod tests {
         assert!(r2.len() > r1.len());
         for g in &r1 {
             assert!(r2.contains(g));
+        }
+    }
+
+    #[test]
+    fn grid_query_matches_linear_scan() {
+        // The bucketed query must return exactly what the original full
+        // scan returned — same cells, same (id) order — for radii around
+        // lattice-distance boundaries.
+        let n = chain(61);
+        let p = Placement::new(&n);
+        for &center in p.placeable().iter().step_by(7) {
+            let c = p.position(center).unwrap();
+            for radius in [0.0, 0.5, 1.0, std::f64::consts::SQRT_2, 2.0, 2.9, 100.0] {
+                let mut linear: Vec<GateId> = p
+                    .placeable()
+                    .iter()
+                    .copied()
+                    .filter(|&g| {
+                        p.position(g)
+                            .map(|q| q.distance(c) <= radius)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                linear.sort_unstable();
+                assert_eq!(
+                    p.cells_within(center, radius),
+                    linear,
+                    "center {center} radius {radius}"
+                );
+            }
         }
     }
 

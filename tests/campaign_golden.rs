@@ -1,0 +1,120 @@
+//! Statistical golden test: pinned-seed campaign results per strategy.
+//!
+//! The campaign engine promises bit-identical results for a fixed
+//! `(seed, n, strategy)` regardless of thread count and kernel choice.
+//! These tests pin the exact `(ssf, sample_variance)` pair of a small
+//! campaign for each sampling strategy, so any unintended change to the
+//! sampling streams, the strike kernels, the cross-level conclusion or the
+//! Chan merge shows up as a bit-level diff — not as a silent statistical
+//! drift that a tolerance-based assertion would absorb.
+//!
+//! The goldens were recorded from this tree at the pinned seed. A change
+//! that *intends* to alter the streams (new RNG layout, different chunk
+//! partition, resampled distributions) must re-record them; the assertion
+//! message prints the observed bits for exactly that purpose.
+
+use std::sync::OnceLock;
+use xlmc::estimator::{run_campaign_with, CampaignKernel, CampaignOptions};
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::{
+    baseline_distribution, ConeSampling, ExperimentConfig, ImportanceSampling, RandomSampling,
+    SamplingStrategy,
+};
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_soc::workloads;
+
+const RUNS: usize = 4_000;
+const SEED: u64 = 0x90_1D;
+
+struct Fixture {
+    model: SystemModel,
+    write_eval: Evaluation,
+    prechar: Precharacterization,
+    cfg: ExperimentConfig,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let model = SystemModel::with_defaults().unwrap();
+        let write_eval = Evaluation::new(workloads::illegal_write()).unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 16,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        Fixture {
+            model,
+            write_eval,
+            prechar,
+            cfg,
+        }
+    })
+}
+
+/// Run the pinned campaign and compare against the recorded golden.
+///
+/// Runs both kernels: the goldens must hold for the default batched kernel
+/// *and* the scalar reference, which keeps the recording itself honest (a
+/// golden that only one kernel reproduces means the equivalence contract
+/// broke, not the statistics).
+fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
+    let f = fixture();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    for kernel in [CampaignKernel::Batched, CampaignKernel::Scalar] {
+        let opts = CampaignOptions::with_kernel(kernel);
+        let r = run_campaign_with(&runner, strategy, RUNS, SEED, &opts);
+        assert!(r.ssf.is_finite() && r.sample_variance.is_finite());
+        assert_eq!(
+            (r.ssf.to_bits(), r.sample_variance.to_bits()),
+            (golden_ssf, golden_var),
+            "{} ({kernel:?}): got ssf {} ({:#018x}), variance {:.6e} ({:#018x}) \
+             — if the sampling streams changed intentionally, re-record the goldens",
+            strategy.name(),
+            r.ssf,
+            r.ssf.to_bits(),
+            r.sample_variance,
+            r.sample_variance.to_bits(),
+        );
+    }
+}
+
+#[test]
+fn uniform_random_campaign_matches_golden() {
+    let f = fixture();
+    // ssf 0.017999999999999995, variance 1.768042e-2
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    check(&strategy, 0x3f926e978d4fdf3a, 0x3f921ad0e885c382);
+}
+
+#[test]
+fn correlation_cone_campaign_matches_golden() {
+    let f = fixture();
+    let strategy = ConeSampling::new(
+        baseline_distribution(&f.model, &f.cfg),
+        &f.prechar,
+        f.cfg.radius_options.clone(),
+    );
+    // ssf 0.018433593750000008, variance 1.089590e-2
+    check(&strategy, 0x3f92e04189374bc9, 0x3f865096a541acff);
+}
+
+#[test]
+fn full_importance_campaign_matches_golden() {
+    let f = fixture();
+    let strategy = ImportanceSampling::new(
+        baseline_distribution(&f.model, &f.cfg),
+        &f.model,
+        &f.prechar,
+        f.cfg.alpha,
+        f.cfg.beta,
+        f.cfg.radius_options.clone(),
+    );
+    // ssf 0.01776518304420538, variance 5.365679e-3
+    check(&strategy, 0x3f92310940bab100, 0x3f75fa526b7cde96);
+}
