@@ -6,10 +6,10 @@
 //! user can see how much of the speedup each term buys. `α = 0` degenerates
 //! to fanin-cone sampling.
 
-use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::estimator::CampaignOptions;
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, RandomSampling};
-use xlmc_bench::{print_table, ExperimentContext};
+use xlmc_bench::{print_table, run_observed_campaign, ExperimentContext};
 
 fn main() {
     let opts = CampaignOptions::from_args();
@@ -23,7 +23,14 @@ fn main() {
     let f = baseline_distribution(&ctx.model, &ctx.cfg);
     let n = 3_000;
 
-    let random = run_campaign_with(&runner, &RandomSampling::new(f.clone()), n, 0xAB, &opts);
+    let random = run_observed_campaign(
+        &runner,
+        &RandomSampling::new(f.clone()),
+        n,
+        0xAB,
+        &opts,
+        "abl",
+    );
     println!(
         "random baseline: ssf={:.5} variance={:.3e}",
         random.ssf, random.sample_variance
@@ -40,7 +47,14 @@ fn main() {
                 beta,
                 ctx.cfg.radius_options.clone(),
             );
-            let r = run_campaign_with(&runner, &is, n, 0xABCD, &opts);
+            let r = run_observed_campaign(
+                &runner,
+                &is,
+                n,
+                0xABCD,
+                &opts,
+                &format!("abl-a{alpha}-b{beta}"),
+            );
             rows.push(vec![
                 format!("{alpha}"),
                 format!("{beta}"),

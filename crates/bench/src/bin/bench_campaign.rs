@@ -22,10 +22,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
-use xlmc::estimator::{run_campaign_with, CampaignKernel, CampaignOptions};
+use xlmc::estimator::{run_campaign_observed, CampaignKernel, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
 use xlmc::stats::RunningStats;
+use xlmc::telemetry::StderrProgress;
 use xlmc_bench::ExperimentContext;
 
 const RUNS: usize = 100_000;
@@ -72,8 +73,9 @@ fn engine(
         threads,
         ..CampaignOptions::with_kernel(kernel)
     };
+    let mut progress = StderrProgress::new(&label);
     let start = Instant::now();
-    let r = run_campaign_with(runner, strategy, runs, SEED, &opts);
+    let r = run_campaign_observed(runner, strategy, runs, SEED, &opts, &mut progress);
     let elapsed = start.elapsed().as_secs_f64();
     Row {
         label,

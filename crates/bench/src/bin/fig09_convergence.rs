@@ -6,12 +6,12 @@
 //! different strategies" — successful attacks out of 2,000 runs and the
 //! sample variance (the paper reports 0.0261 / 0.0210 / 9.70e-5).
 
-use xlmc::estimator::{run_campaign_with, CampaignOptions, CampaignResult};
+use xlmc::estimator::{CampaignOptions, CampaignResult};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{
     baseline_distribution, ConeSampling, ImportanceSampling, RandomSampling, SamplingStrategy,
 };
-use xlmc_bench::{print_table, sparkline, ExperimentContext};
+use xlmc_bench::{print_table, run_observed_campaign, sparkline, ExperimentContext};
 
 fn main() {
     let opts = CampaignOptions::from_args();
@@ -45,7 +45,7 @@ fn main() {
     eprintln!("[fig09] running 3 campaigns of {n} fault injections each ...");
     let results: Vec<CampaignResult> = strategies
         .iter()
-        .map(|s| run_campaign_with(&runner, s.as_ref(), n, 0xF19, &opts))
+        .map(|s| run_observed_campaign(&runner, s.as_ref(), n, 0xF19, &opts, "fig09a"))
         .collect();
 
     println!("\n== Figure 9(a): convergence of the SSF estimate ({n} runs) ==");
@@ -64,7 +64,7 @@ fn main() {
     let rows: Vec<Vec<String>> = strategies
         .iter()
         .map(|s| {
-            let r = run_campaign_with(&runner, s.as_ref(), 2_000, 0x2000, &opts);
+            let r = run_observed_campaign(&runner, s.as_ref(), 2_000, 0x2000, &opts, "fig09b");
             vec![
                 r.strategy.clone(),
                 r.successes.to_string(),

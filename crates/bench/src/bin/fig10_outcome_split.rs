@@ -6,10 +6,10 @@
 //! comparison" between attacks on registers and attacks on combinational
 //! gates (paper: 271 vs 70 successes out of 2,000; SSF 0.027 vs 0.007).
 
-use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::estimator::CampaignOptions;
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::RandomSampling;
-use xlmc_bench::{pct, print_table, ExperimentContext};
+use xlmc_bench::{pct, print_table, run_observed_campaign, ExperimentContext};
 use xlmc_fault::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
 use xlmc_netlist::{CellKind, GateId};
 
@@ -48,12 +48,13 @@ fn main() {
 
     // Figure 10(a): outcome split for attacks on combinational gates.
     eprintln!("[fig10] attacking combinational gates ...");
-    let comb = run_campaign_with(
+    let comb = run_observed_campaign(
         &runner,
         &RandomSampling::new(dist_over(comb_cells)),
         2_000,
         0xA10,
         &opts,
+        "fig10a-comb",
     );
     let (masked, mem, both) = comb.class_counts.fractions();
     print_table(
@@ -85,12 +86,13 @@ fn main() {
 
     // Figure 10(b): SSF from register strikes vs combinational strikes.
     eprintln!("[fig10] attacking registers ...");
-    let regs = run_campaign_with(
+    let regs = run_observed_campaign(
         &runner,
         &RandomSampling::new(dist_over(reg_cells)),
         2_000,
         0xB10,
         &opts,
+        "fig10b-regs",
     );
     print_table(
         "Figure 10(b): SSF by struck cell type (2,000 attacks each)",

@@ -7,11 +7,11 @@
 //! delta at the best target cell. Both are evaluated for the memory-write
 //! and memory-read benchmarks, as in the paper.
 
-use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::estimator::CampaignOptions;
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{subblock_cells, RandomSampling};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
-use xlmc_bench::{print_table, ExperimentContext};
+use xlmc_bench::{print_table, run_observed_campaign, ExperimentContext};
 use xlmc_fault::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
 use xlmc_netlist::GateId;
 use xlmc_soc::MpuBit;
@@ -24,6 +24,7 @@ fn ssf(
     f: AttackDistribution,
     n: usize,
     seed: u64,
+    tag: &str,
 ) -> f64 {
     let runner = FaultRunner {
         model,
@@ -31,12 +32,13 @@ fn ssf(
         prechar,
         hardening: None,
     };
-    run_campaign_with(
+    run_observed_campaign(
         &runner,
         &RandomSampling::new(f),
         n,
         seed,
         &CampaignOptions::from_args(),
+        tag,
     )
     .ssf
 }
@@ -70,6 +72,7 @@ fn main() {
             f.clone(),
             n_a,
             0x11A + w as u64,
+            &format!("fig11a-w{w}-write"),
         );
         let sr = ssf(
             &ctx.model,
@@ -78,6 +81,7 @@ fn main() {
             f,
             n_a,
             0x11B + w as u64,
+            &format!("fig11a-w{w}-read"),
         );
         raw.push((w, sw, sr));
     }
@@ -145,8 +149,17 @@ fn main() {
             f.clone(),
             n,
             0x11C,
+            &format!("fig11b-{name}-write"),
         );
-        let sr = ssf(&ctx.model, &ctx.read_eval, &ctx.prechar, f, n, 0x11D);
+        let sr = ssf(
+            &ctx.model,
+            &ctx.read_eval,
+            &ctx.prechar,
+            f,
+            n,
+            0x11D,
+            &format!("fig11b-{name}-read"),
+        );
         base_write.get_or_insert(sw);
         base_read.get_or_insert(sr);
         rows.push(vec![

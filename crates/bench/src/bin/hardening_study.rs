@@ -9,11 +9,11 @@
 //! The study runs an importance-sampling campaign, ranks registers by their
 //! SSF attribution, hardens the top 3%, and re-evaluates.
 
-use xlmc::estimator::{run_campaign_with, CampaignOptions};
+use xlmc::estimator::CampaignOptions;
 use xlmc::flow::FaultRunner;
 use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
 use xlmc::sampling::{baseline_distribution, ImportanceSampling};
-use xlmc_bench::{pct, print_table, ExperimentContext};
+use xlmc_bench::{pct, print_table, run_observed_campaign, ExperimentContext};
 
 fn main() {
     let opts = CampaignOptions::from_args();
@@ -37,7 +37,7 @@ fn main() {
     // Baseline campaign with per-register SSF attribution.
     eprintln!("[hardening] baseline campaign ...");
     let n = 8_000;
-    let baseline = run_campaign_with(&runner, &is, n, 0x4A8D, &opts);
+    let baseline = run_observed_campaign(&runner, &is, n, 0x4A8D, &opts, "harden-baseline");
     println!(
         "baseline SSF = {:.5} ({} successes / {} runs)",
         baseline.ssf, baseline.successes, n
@@ -81,7 +81,7 @@ fn main() {
         ..runner
     };
     eprintln!("[hardening] hardened campaign ...");
-    let after = run_campaign_with(&hardened_runner, &is, n, 0x4A8E, &opts);
+    let after = run_observed_campaign(&hardened_runner, &is, n, 0x4A8E, &opts, "harden-after");
 
     print_table(
         "Hardening outcome",

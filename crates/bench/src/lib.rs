@@ -16,7 +16,11 @@
 //! | `hardening_study`        | §6 hardening claim: top registers, SSF reduction, area |
 //! | `ablation_alpha_beta`    | extension: sensitivity of `g_{T,P}` to α/β |
 
-use xlmc::sampling::ExperimentConfig;
+use std::path::{Path, PathBuf};
+use xlmc::estimator::{run_campaign_observed, CampaignOptions, CampaignResult};
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::{ExperimentConfig, SamplingStrategy};
+use xlmc::telemetry::StderrProgress;
 use xlmc::{Evaluation, Precharacterization, SystemModel};
 use xlmc_soc::workloads;
 
@@ -70,6 +74,41 @@ impl ExperimentContext {
     }
 }
 
+/// Insert `tag` before the path's extension:
+/// `out/m.json` + `fig09-random` → `out/m.fig09-random.json`.
+fn tagged_path(path: &Path, tag: &str) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+    let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    path.with_file_name(format!("{stem}.{tag}.{ext}"))
+}
+
+/// Run one campaign with the harness's standard observability: a
+/// rate-limited stderr progress line, plus whatever `--metrics` /
+/// `--checkpoint` / `--target-eps` flags the options carry. Binaries that
+/// run several campaigns pass a distinct `tag` per campaign — it is
+/// combined with the strategy name and inserted into the metrics and
+/// checkpoint file names, so campaigns neither clobber nor cross-resume
+/// each other's files.
+pub fn run_observed_campaign(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    n: usize,
+    seed: u64,
+    opts: &CampaignOptions,
+    tag: &str,
+) -> CampaignResult {
+    let mut opts = opts.clone();
+    let tag = format!("{tag}-{}", strategy.name());
+    if let Some(p) = &opts.metrics_path {
+        opts.metrics_path = Some(tagged_path(p, &tag));
+    }
+    if let Some(p) = &opts.checkpoint_path {
+        opts.checkpoint_path = Some(tagged_path(p, &tag));
+    }
+    let mut progress = StderrProgress::new(tag);
+    run_campaign_observed(runner, strategy, n, seed, &opts, &mut progress)
+}
+
 /// Print a fixed-width table with a title.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -118,6 +157,18 @@ pub fn sparkline(values: &[f64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tagged_path_inserts_tag_before_extension() {
+        assert_eq!(
+            tagged_path(Path::new("out/m.json"), "fig09-random"),
+            Path::new("out/m.fig09-random.json")
+        );
+        assert_eq!(
+            tagged_path(Path::new("ck"), "a-b"),
+            Path::new("ck.a-b.json")
+        );
+    }
 
     #[test]
     fn pct_formats() {

@@ -7,15 +7,27 @@
 //! (Figure 9(b)), the strike-outcome split (Figure 10(a)), the
 //! analytic-vs-RTL run counts, and the per-register SSF attribution that
 //! drives the hardening study.
+//!
+//! The driver folds chunk partials **incrementally in chunk order**, which
+//! is what makes the [`crate::telemetry`] layer deterministic: progress
+//! events, the `--target-eps` stopping rule, and periodic checkpoints all
+//! observe the same merged prefix at a given chunk boundary regardless of
+//! the thread count or kernel.
 
 use crate::batch::{run_chunk_batched, BatchChunkScratch, SharedCycleCache};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::stats::RunningStats;
+use crate::telemetry::{
+    self, CampaignCheckpoint, CampaignObserver, MetricsMeta, NullObserver, ObserverAction,
+    ProgressEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 use xlmc_soc::MpuBit;
 
 /// Runs per shard. Fixed — independent of the thread count and of the
@@ -26,6 +38,14 @@ use xlmc_soc::MpuBit;
 /// stretches and fewer cycle-value groups per batch. The trace stays usable
 /// because `trace_points` caps its resolution anyway.
 const CHUNK_RUNS: usize = 512;
+
+/// The `--target-eps` stopping rule never fires before this many runs: the
+/// Welford variance of the first chunk can be degenerately small (e.g. all
+/// strikes masked), which would satisfy any bound trivially.
+pub const EARLY_STOP_MIN_RUNS: usize = 2 * CHUNK_RUNS;
+
+/// Default checkpoint cadence in runs (rounded up to whole chunks).
+pub const DEFAULT_CHECKPOINT_EVERY_RUNS: usize = 8 * CHUNK_RUNS;
 
 /// Counts of strike outcomes by class (paper Figure 10(a)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +73,35 @@ impl ClassCounts {
             self.mixed as f64 / t,
         )
     }
+
+    fn add(&mut self, other: &ClassCounts) {
+        self.masked += other.masked;
+        self.memory_only += other.memory_only;
+        self.mixed += other.mixed;
+    }
+}
+
+/// Why a campaign returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// All requested runs were executed.
+    #[default]
+    Completed,
+    /// The `--target-eps` LLN bound dropped below `1 − confidence`.
+    TargetEps,
+    /// A [`CampaignObserver`] returned [`ObserverAction::Abort`].
+    Aborted,
+}
+
+impl StopReason {
+    /// The stable string used in the metrics JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::TargetEps => "target_eps",
+            StopReason::Aborted => "aborted",
+        }
+    }
 }
 
 /// The result of one sampling campaign.
@@ -60,13 +109,18 @@ impl ClassCounts {
 pub struct CampaignResult {
     /// Strategy name.
     pub strategy: String,
-    /// Number of samples.
+    /// Number of samples folded into the estimate. Equals the requested
+    /// run count unless the campaign stopped early (see [`StopReason`]).
     pub n: usize,
     /// The SSF estimate `ŜSF`.
     pub ssf: f64,
     /// Sample variance of the weighted indicator `w · e` (the paper's
     /// Figure 9(b) metric).
     pub sample_variance: f64,
+    /// The importance-sampling effective sample size `(Σw)²/Σw²` over the
+    /// drawn weights (equals `n` when every weight is 1, i.e. under the
+    /// baseline random strategy).
+    pub ess: f64,
     /// Number of successful attacks (unweighted).
     pub successes: usize,
     /// Running-estimate trace `(n, ŜSF_n)` for convergence plots.
@@ -80,6 +134,8 @@ pub struct CampaignResult {
     /// Weighted success mass attributed to each faulty register. Ordered by
     /// bit so reports and serialized results are stable run-to-run.
     pub attribution: BTreeMap<MpuBit, f64>,
+    /// Why the campaign returned.
+    pub stop: StopReason,
 }
 
 impl CampaignResult {
@@ -108,12 +164,26 @@ pub enum CampaignKernel {
     Batched,
 }
 
+impl CampaignKernel {
+    /// The `--kernel` argument spelling (also used in checkpoint headers).
+    pub fn as_arg(&self) -> &'static str {
+        match self {
+            CampaignKernel::Scalar => "scalar",
+            CampaignKernel::Batched => "batched",
+        }
+    }
+}
+
 /// Knobs of the campaign engine, shared by every figure binary.
 ///
 /// The thread count and the kernel are pure scheduling choices: campaign
 /// results are bit-identical at any `threads` value and under either
-/// kernel (see [`crate::rng`] and [`CampaignKernel`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// kernel (see [`crate::rng`] and [`CampaignKernel`]). The telemetry knobs
+/// (`metrics_path`, `checkpoint_path`) never change the statistics either;
+/// `target_eps` changes only *where* the campaign stops, and it does so
+/// deterministically (the stopping decision is a function of the merged
+/// chunk prefix, which is schedule-independent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignOptions {
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
@@ -122,6 +192,20 @@ pub struct CampaignOptions {
     pub trace_points: usize,
     /// The per-chunk executor.
     pub kernel: CampaignKernel,
+    /// Adaptive stopping: halt once the §3.3 LLN bound at this `eps`
+    /// drops to `1 − target_confidence` (checked at chunk boundaries,
+    /// never before [`EARLY_STOP_MIN_RUNS`] runs). `None` disables.
+    pub target_eps: Option<f64>,
+    /// Confidence level for the stopping rule (default 0.95).
+    pub target_confidence: f64,
+    /// Where to write the campaign metrics JSON (`--metrics`).
+    pub metrics_path: Option<PathBuf>,
+    /// Where to read/write the campaign checkpoint (`--checkpoint`). If
+    /// the file exists, the campaign resumes from it.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in runs, rounded up to whole chunks
+    /// (`--checkpoint-every`).
+    pub checkpoint_every_runs: usize,
 }
 
 impl Default for CampaignOptions {
@@ -130,6 +214,11 @@ impl Default for CampaignOptions {
             threads: 1,
             trace_points: 200,
             kernel: CampaignKernel::default(),
+            target_eps: None,
+            target_confidence: 0.95,
+            metrics_path: None,
+            checkpoint_path: None,
+            checkpoint_every_runs: DEFAULT_CHECKPOINT_EVERY_RUNS,
         }
     }
 }
@@ -151,30 +240,102 @@ impl CampaignOptions {
         }
     }
 
-    /// Parse `--threads N` and `--kernel scalar|batched` from the process
-    /// arguments (used by the figure binaries); anything else is left for
-    /// the caller.
+    /// Parse the engine flags from the process arguments (used by the
+    /// figure binaries); anything unrecognized is left for the caller. An
+    /// invalid value for a recognized flag prints an error and exits with
+    /// status 2.
     pub fn from_args() -> Self {
-        let mut opts = Self::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            if a == "--threads" {
-                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                    opts.threads = v;
-                }
-            } else if let Some(v) = a.strip_prefix("--threads=") {
-                if let Ok(v) = v.parse() {
-                    opts.threads = v;
-                }
-            } else if a == "--kernel" {
-                if let Some(v) = args.next() {
-                    opts.set_kernel_arg(&v);
-                }
-            } else if let Some(v) = a.strip_prefix("--kernel=") {
-                opts.set_kernel_arg(v);
+        match Self::parse_args(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
             }
         }
-        opts
+    }
+
+    /// Parse the engine flags — `--threads N`, `--kernel scalar|batched`,
+    /// `--target-eps X`, `--target-confidence C`, `--metrics PATH`,
+    /// `--checkpoint PATH`, `--checkpoint-every N` (each also accepting
+    /// the `--flag=value` spelling) — from an argument list, skipping
+    /// flags it does not own.
+    pub fn parse_args<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        const VALUE_FLAGS: &[&str] = &[
+            "--threads",
+            "--kernel",
+            "--target-eps",
+            "--target-confidence",
+            "--metrics",
+            "--checkpoint",
+            "--checkpoint-every",
+        ];
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, mut inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (arg, None),
+            };
+            if !VALUE_FLAGS.contains(&flag.as_str()) {
+                continue;
+            }
+            let value = inline
+                .take()
+                .or_else(|| it.next())
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            match flag.as_str() {
+                "--threads" => {
+                    opts.threads = value.parse().map_err(|_| {
+                        format!(
+                            "invalid --threads value {value:?}: expected a non-negative integer"
+                        )
+                    })?;
+                }
+                "--kernel" => opts.set_kernel_arg(&value),
+                "--target-eps" => {
+                    let eps: f64 = value.parse().map_err(|_| {
+                        format!("invalid --target-eps value {value:?}: expected a number")
+                    })?;
+                    if !eps.is_finite() || eps <= 0.0 {
+                        return Err(format!(
+                            "invalid --target-eps value {value:?}: must be a positive number"
+                        ));
+                    }
+                    opts.target_eps = Some(eps);
+                }
+                "--target-confidence" => {
+                    let c: f64 = value.parse().map_err(|_| {
+                        format!("invalid --target-confidence value {value:?}: expected a number")
+                    })?;
+                    if !(c > 0.0 && c < 1.0) {
+                        return Err(format!(
+                            "invalid --target-confidence value {value:?}: must be in (0, 1)"
+                        ));
+                    }
+                    opts.target_confidence = c;
+                }
+                "--metrics" => opts.metrics_path = Some(PathBuf::from(value)),
+                "--checkpoint" => opts.checkpoint_path = Some(PathBuf::from(value)),
+                "--checkpoint-every" => {
+                    let every: usize = value.parse().map_err(|_| {
+                        format!(
+                            "invalid --checkpoint-every value {value:?}: expected a positive integer"
+                        )
+                    })?;
+                    if every == 0 {
+                        return Err(
+                            "invalid --checkpoint-every value \"0\": must be at least 1".to_owned()
+                        );
+                    }
+                    opts.checkpoint_every_runs = every;
+                }
+                _ => unreachable!("flag list and match arms are in sync"),
+            }
+        }
+        Ok(opts)
     }
 
     fn set_kernel_arg(&mut self, v: &str) {
@@ -206,6 +367,10 @@ pub(crate) struct ChunkPartial {
     pub(crate) rtl_runs: usize,
     pub(crate) successes: usize,
     pub(crate) attribution: BTreeMap<MpuBit, f64>,
+    /// Σw over the shard's drawn weights (for the effective sample size).
+    pub(crate) w_sum: f64,
+    /// Σw² over the shard's drawn weights.
+    pub(crate) w_sq_sum: f64,
 }
 
 /// Fold one run's outcome into a shard partial. Both kernels route every
@@ -232,6 +397,8 @@ pub(crate) fn fold_run(
             p.rtl_runs += 1;
         }
     }
+    p.w_sum += w;
+    p.w_sq_sum += w * w;
     let x = if success {
         p.successes += 1;
         for &bit in faulty_bits {
@@ -287,6 +454,174 @@ pub(crate) fn scalar_chunk_for_tests(
     run_chunk(runner, strategy, seed, start, end, scratch)
 }
 
+/// The merged campaign prefix: every statistic folded from chunks
+/// `0..merged_chunks`, in chunk order. This is exactly what a checkpoint
+/// snapshots — restoring it and folding the remaining chunks reproduces an
+/// uninterrupted campaign bit-for-bit.
+#[derive(Debug, Default)]
+struct MergeState {
+    stats: RunningStats,
+    class_counts: ClassCounts,
+    analytic_runs: usize,
+    rtl_runs: usize,
+    successes: usize,
+    attribution: BTreeMap<MpuBit, f64>,
+    w_sum: f64,
+    w_sq_sum: f64,
+    /// Running estimate at each merged chunk boundary, undownsampled.
+    boundaries: Vec<(usize, f64)>,
+    /// Chunks folded so far — also the index of the next chunk to fold.
+    merged_chunks: usize,
+}
+
+impl MergeState {
+    fn fold(&mut self, p: ChunkPartial, chunk_end: usize) {
+        self.stats.merge(&p.stats);
+        self.class_counts.add(&p.class_counts);
+        self.analytic_runs += p.analytic_runs;
+        self.rtl_runs += p.rtl_runs;
+        self.successes += p.successes;
+        for (bit, w) in p.attribution {
+            *self.attribution.entry(bit).or_insert(0.0) += w;
+        }
+        self.w_sum += p.w_sum;
+        self.w_sq_sum += p.w_sq_sum;
+        self.boundaries.push((chunk_end, self.stats.mean()));
+        self.merged_chunks += 1;
+    }
+
+    fn runs_merged(&self) -> usize {
+        self.boundaries.last().map_or(0, |&(runs, _)| runs)
+    }
+
+    /// Effective sample size `(Σw)²/Σw²` (0 when no runs folded).
+    fn ess(&self) -> f64 {
+        if self.w_sq_sum > 0.0 {
+            self.w_sum * self.w_sum / self.w_sq_sum
+        } else {
+            0.0
+        }
+    }
+
+    fn to_checkpoint(
+        &self,
+        seed: u64,
+        requested_runs: usize,
+        strategy: &str,
+        kernel: CampaignKernel,
+    ) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            seed,
+            requested_runs,
+            chunk_runs: CHUNK_RUNS,
+            strategy: strategy.to_owned(),
+            kernel,
+            merged_chunks: self.merged_chunks,
+            stats: self.stats,
+            w_sum: self.w_sum,
+            w_sq_sum: self.w_sq_sum,
+            class_counts: self.class_counts,
+            analytic_runs: self.analytic_runs,
+            rtl_runs: self.rtl_runs,
+            successes: self.successes,
+            attribution: self.attribution.clone(),
+            boundaries: self.boundaries.clone(),
+        }
+    }
+
+    fn from_checkpoint(ck: CampaignCheckpoint) -> Self {
+        Self {
+            stats: ck.stats,
+            class_counts: ck.class_counts,
+            analytic_runs: ck.analytic_runs,
+            rtl_runs: ck.rtl_runs,
+            successes: ck.successes,
+            attribution: ck.attribution,
+            w_sum: ck.w_sum,
+            w_sq_sum: ck.w_sq_sum,
+            boundaries: ck.boundaries,
+            merged_chunks: ck.merged_chunks,
+        }
+    }
+
+    fn into_result(self, strategy: &str, stop: StopReason, trace_points: usize) -> CampaignResult {
+        // Downsample boundaries to at most `trace_points`, always keeping
+        // the final `(n, ŜSF)` point exactly once.
+        let stride = self.boundaries.len().div_ceil(trace_points.max(1)).max(1);
+        let mut trace: Vec<(usize, f64)> = self
+            .boundaries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + 1) % stride == 0)
+            .map(|(_, &b)| b)
+            .collect();
+        if trace.last() != self.boundaries.last() {
+            if let Some(&last) = self.boundaries.last() {
+                trace.push(last);
+            }
+        }
+        CampaignResult {
+            strategy: strategy.to_owned(),
+            n: self.runs_merged(),
+            ssf: self.stats.mean(),
+            sample_variance: self.stats.variance(),
+            ess: self.ess(),
+            successes: self.successes,
+            trace,
+            class_counts: self.class_counts,
+            analytic_runs: self.analytic_runs,
+            rtl_runs: self.rtl_runs,
+            attribution: self.attribution,
+            stop,
+        }
+    }
+}
+
+fn validate_checkpoint(
+    ck: &CampaignCheckpoint,
+    path: &std::path::Path,
+    seed: u64,
+    n: usize,
+    strategy: &str,
+    kernel: CampaignKernel,
+) {
+    let mut mismatches = Vec::new();
+    if ck.seed != seed {
+        mismatches.push(format!("seed {} != {}", ck.seed, seed));
+    }
+    if ck.requested_runs != n {
+        mismatches.push(format!("requested runs {} != {}", ck.requested_runs, n));
+    }
+    if ck.chunk_runs != CHUNK_RUNS {
+        mismatches.push(format!("chunk size {} != {}", ck.chunk_runs, CHUNK_RUNS));
+    }
+    if ck.strategy != strategy {
+        mismatches.push(format!("strategy {:?} != {:?}", ck.strategy, strategy));
+    }
+    if ck.kernel != kernel {
+        mismatches.push(format!(
+            "kernel {:?} != {:?}",
+            ck.kernel.as_arg(),
+            kernel.as_arg()
+        ));
+    }
+    if ck.boundaries.len() != ck.merged_chunks {
+        mismatches.push(format!(
+            "corrupt cursor: {} boundaries for {} merged chunks",
+            ck.boundaries.len(),
+            ck.merged_chunks
+        ));
+    }
+    if !mismatches.is_empty() {
+        panic!(
+            "checkpoint {} does not match this campaign ({}); delete it or point \
+             --checkpoint elsewhere",
+            path.display(),
+            mismatches.join(", ")
+        );
+    }
+}
+
 /// Run a campaign of `n` attacks with the given strategy and seed
 /// (sequential; see [`run_campaign_with`] for the threaded form).
 pub fn run_campaign(
@@ -313,18 +648,113 @@ pub fn run_campaign_with(
     seed: u64,
     options: &CampaignOptions,
 ) -> CampaignResult {
+    run_campaign_observed(runner, strategy, n, seed, options, &mut NullObserver)
+}
+
+/// [`run_campaign_with`] plus a [`CampaignObserver`] receiving a
+/// [`ProgressEvent`] at every merged chunk boundary.
+///
+/// The merge loop is incremental: as soon as the next in-order chunk
+/// partial is available it is folded, the observer is notified, the
+/// `--target-eps` stopping rule is evaluated, and (when due) a checkpoint
+/// is written. Out-of-order partials from faster workers wait in a small
+/// reorder buffer. Because all of that happens on the merged *prefix* —
+/// which is a pure function of `(seed, n, strategy)` — the event stream,
+/// the stopping point, and any checkpoint are identical at any thread
+/// count and under either kernel; only the wall-clock fields differ.
+pub fn run_campaign_observed(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    n: usize,
+    seed: u64,
+    options: &CampaignOptions,
+    observer: &mut dyn CampaignObserver,
+) -> CampaignResult {
+    let start_time = Instant::now();
     let chunks = n.div_ceil(CHUNK_RUNS);
-    let threads = options.effective_threads().clamp(1, chunks.max(1));
     let chunk_bounds = |c: usize| (c * CHUNK_RUNS, ((c + 1) * CHUNK_RUNS).min(n));
-    // Workers of the batched kernel share one lazily-filled cycle-value
-    // cache (the values are a pure function of the injection cycle), so
-    // adding threads no longer multiplies the warmup work.
-    let cycle_cache = match options.kernel {
-        CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
-        CampaignKernel::Scalar => None,
+
+    let mut state = MergeState::default();
+    if let Some(path) = &options.checkpoint_path {
+        match CampaignCheckpoint::load(path) {
+            Ok(Some(ck)) => {
+                validate_checkpoint(&ck, path, seed, n, strategy.name(), options.kernel);
+                state = MergeState::from_checkpoint(ck);
+            }
+            Ok(None) => {}
+            Err(e) => panic!("failed to read checkpoint {}: {e}", path.display()),
+        }
+    }
+    let start_chunk = state.merged_chunks;
+    let resumed_runs = state.runs_merged();
+    let checkpoint_every_chunks = options.checkpoint_every_runs.div_ceil(CHUNK_RUNS).max(1);
+
+    // Everything that happens at a merged chunk boundary, after the fold:
+    // notify the observer, evaluate the stopping rule, write a checkpoint.
+    // Ordering matters for resume determinism — a stop decision precedes
+    // the checkpoint write, so a checkpoint's cursor never passes the
+    // first stopping boundary and a resumed campaign re-derives the exact
+    // same stop point.
+    let boundary = |state: &MergeState, observer: &mut dyn CampaignObserver| {
+        let runs_done = state.runs_merged();
+        let elapsed_s = start_time.elapsed().as_secs_f64();
+        let fresh = (runs_done - resumed_runs) as f64;
+        let event = ProgressEvent {
+            runs_done,
+            total_runs: n,
+            ssf: state.stats.mean(),
+            sample_variance: state.stats.variance(),
+            ess: state.ess(),
+            target_eps: options.target_eps,
+            lln_bound: options.target_eps.map(|eps| state.stats.lln_bound(eps)),
+            class_counts: state.class_counts,
+            elapsed_s,
+            runs_per_sec: if elapsed_s > 0.0 {
+                fresh / elapsed_s
+            } else {
+                0.0
+            },
+        };
+        if observer.on_progress(&event) == ObserverAction::Abort {
+            return Some(StopReason::Aborted);
+        }
+        if let Some(eps) = options.target_eps {
+            if runs_done >= EARLY_STOP_MIN_RUNS
+                && state.stats.lln_bound(eps) <= 1.0 - options.target_confidence
+            {
+                return Some(StopReason::TargetEps);
+            }
+        }
+        if let Some(path) = &options.checkpoint_path {
+            let merged_since_start = state.merged_chunks - start_chunk;
+            if merged_since_start.is_multiple_of(checkpoint_every_chunks)
+                || state.merged_chunks == chunks
+            {
+                state
+                    .to_checkpoint(seed, n, strategy.name(), options.kernel)
+                    .save(path)
+                    .unwrap_or_else(|e| {
+                        panic!("failed to write checkpoint {}: {e}", path.display())
+                    });
+            }
+        }
+        None
     };
-    let run_one =
-        |c: usize, flow: &mut FlowScratch, batch: &mut BatchChunkScratch| -> ChunkPartial {
+
+    let mut stop = StopReason::Completed;
+    if start_chunk < chunks {
+        let threads = options.effective_threads().clamp(1, chunks - start_chunk);
+        // Workers of the batched kernel share one lazily-filled cycle-value
+        // cache (the values are a pure function of the injection cycle), so
+        // adding threads no longer multiplies the warmup work.
+        let cycle_cache = match options.kernel {
+            CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
+            CampaignKernel::Scalar => None,
+        };
+        let run_one = |c: usize,
+                       flow: &mut FlowScratch,
+                       batch: &mut BatchChunkScratch|
+         -> ChunkPartial {
             let (start, end) = chunk_bounds(c);
             match &cycle_cache {
                 Some(cache) => run_chunk_batched(runner, strategy, seed, start, end, batch, cache),
@@ -332,97 +762,90 @@ pub fn run_campaign_with(
             }
         };
 
-    let mut slots: Vec<Option<ChunkPartial>> = Vec::with_capacity(chunks);
-    if threads <= 1 {
-        let mut flow = FlowScratch::default();
-        let mut batch = BatchChunkScratch::default();
-        for c in 0..chunks {
-            slots.push(Some(run_one(c, &mut flow, &mut batch)));
-        }
-    } else {
-        slots.resize_with(chunks, || None);
-        let next = AtomicUsize::new(0);
-        let worker_outputs: Vec<Vec<(usize, ChunkPartial)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
+        if threads <= 1 {
+            let mut flow = FlowScratch::default();
+            let mut batch = BatchChunkScratch::default();
+            for c in start_chunk..chunks {
+                let p = run_one(c, &mut flow, &mut batch);
+                state.fold(p, chunk_bounds(c).1);
+                if let Some(reason) = boundary(&state, observer) {
+                    stop = reason;
+                    break;
+                }
+            }
+        } else {
+            let stop_flag = AtomicBool::new(false);
+            let next = AtomicUsize::new(start_chunk);
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, ChunkPartial)>();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let run_one = &run_one;
+                    let next = &next;
+                    let stop_flag = &stop_flag;
+                    s.spawn(move || {
                         let mut flow = FlowScratch::default();
                         let mut batch = BatchChunkScratch::default();
-                        let mut local = Vec::new();
                         loop {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= chunks {
                                 break;
                             }
-                            local.push((c, run_one(c, &mut flow, &mut batch)));
+                            // A send fails only when the merger has
+                            // stopped and dropped the receiver.
+                            if tx.send((c, run_one(c, &mut flow, &mut batch))).is_err() {
+                                break;
+                            }
                         }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        });
-        for (c, partial) in worker_outputs.into_iter().flatten() {
-            slots[c] = Some(partial);
+                    });
+                }
+                drop(tx);
+                // Reorder buffer for partials that arrive ahead of the
+                // merge cursor; folds always happen in chunk order.
+                let mut pending: BTreeMap<usize, ChunkPartial> = BTreeMap::new();
+                'merge: while state.merged_chunks < chunks {
+                    let Ok((c, p)) = rx.recv() else { break };
+                    pending.insert(c, p);
+                    while let Some(p) = pending.remove(&state.merged_chunks) {
+                        let end = chunk_bounds(state.merged_chunks).1;
+                        state.fold(p, end);
+                        if let Some(reason) = boundary(&state, observer) {
+                            stop = reason;
+                            stop_flag.store(true, Ordering::Relaxed);
+                            break 'merge;
+                        }
+                    }
+                }
+                drop(rx);
+            });
         }
     }
 
-    // Merge in shard order; record the running estimate at each boundary.
-    let mut stats = RunningStats::new();
-    let mut class_counts = ClassCounts::default();
-    let mut analytic_runs = 0usize;
-    let mut rtl_runs = 0usize;
-    let mut successes = 0usize;
-    let mut attribution: BTreeMap<MpuBit, f64> = BTreeMap::new();
-    let mut boundaries: Vec<(usize, f64)> = Vec::with_capacity(chunks);
-    for (c, slot) in slots.into_iter().enumerate() {
-        let p = slot.expect("every shard ran");
-        stats.merge(&p.stats);
-        class_counts.masked += p.class_counts.masked;
-        class_counts.memory_only += p.class_counts.memory_only;
-        class_counts.mixed += p.class_counts.mixed;
-        analytic_runs += p.analytic_runs;
-        rtl_runs += p.rtl_runs;
-        successes += p.successes;
-        for (bit, w) in p.attribution {
-            *attribution.entry(bit).or_insert(0.0) += w;
-        }
-        boundaries.push((chunk_bounds(c).1, stats.mean()));
-    }
-
-    // Downsample boundaries to at most `trace_points`, always keeping the
-    // final `(n, ŜSF)` point exactly once.
-    let stride = boundaries
-        .len()
-        .div_ceil(options.trace_points.max(1))
-        .max(1);
-    let mut trace: Vec<(usize, f64)> = boundaries
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| (i + 1) % stride == 0)
-        .map(|(_, &b)| b)
-        .collect();
-    if trace.last() != boundaries.last() {
-        if let Some(&last) = boundaries.last() {
-            trace.push(last);
+    let elapsed_s = start_time.elapsed().as_secs_f64();
+    let fresh = (state.runs_merged() - resumed_runs) as f64;
+    let meta = MetricsMeta {
+        seed,
+        requested_runs: n,
+        target_eps: options.target_eps,
+        target_confidence: options.target_confidence,
+        elapsed_s,
+        runs_per_sec: if elapsed_s > 0.0 {
+            fresh / elapsed_s
+        } else {
+            0.0
+        },
+    };
+    let result = state.into_result(strategy.name(), stop, options.trace_points);
+    observer.on_finish(&result);
+    if let Some(path) = &options.metrics_path {
+        if let Err(e) = telemetry::write_metrics(path, &result, &meta) {
+            eprintln!("failed to write metrics {}: {e}", path.display());
         }
     }
-
-    CampaignResult {
-        strategy: strategy.name().to_owned(),
-        n,
-        ssf: stats.mean(),
-        sample_variance: stats.variance(),
-        successes,
-        trace,
-        class_counts,
-        analytic_runs,
-        rtl_runs,
-        attribution,
-    }
+    result
 }
 
 #[cfg(test)]
@@ -467,6 +890,10 @@ mod tests {
         }
     }
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn random_campaign_produces_consistent_counters() {
         let f = fixture();
@@ -482,6 +909,9 @@ mod tests {
         assert!((0.0..=1.0).contains(&result.ssf));
         assert_eq!(result.trace.last().unwrap().0, 400);
         assert_eq!(result.strategy, "random");
+        assert_eq!(result.stop, StopReason::Completed);
+        // The baseline draws unit weights, so ESS equals n exactly.
+        assert_eq!(result.ess, 400.0);
     }
 
     #[test]
@@ -522,6 +952,9 @@ mod tests {
             a.ssf,
             b.ssf
         );
+        // A skewed proposal has non-unit weights, so its ESS drops below n
+        // but must stay positive.
+        assert!(b.ess > 0.0 && b.ess <= 1200.0 + 1e-9, "ess {}", b.ess);
     }
 
     #[test]
@@ -600,6 +1033,7 @@ mod tests {
             assert_eq!(sequential.rtl_runs, parallel.rtl_runs);
             assert_eq!(sequential.attribution, parallel.attribution);
             assert_eq!(sequential.trace, parallel.trace);
+            assert_eq!(sequential.ess, parallel.ess);
         }
     }
 
@@ -699,6 +1133,58 @@ mod tests {
     }
 
     #[test]
+    fn bad_threads_value_is_an_error_not_a_silent_default() {
+        // Regression: `--threads foo` used to be swallowed and the default
+        // of 1 used, so a typo silently serialized a 32-core campaign.
+        for argv in [
+            args(&["--threads", "foo"]),
+            args(&["--threads=foo"]),
+            args(&["--threads", "-3"]),
+            args(&["--threads"]),
+        ] {
+            let err = CampaignOptions::parse_args(argv.clone()).unwrap_err();
+            assert!(err.contains("--threads"), "argv {argv:?}: {err}");
+        }
+        let ok = CampaignOptions::parse_args(args(&["--threads", "6"])).unwrap();
+        assert_eq!(ok.threads, 6);
+        let ok = CampaignOptions::parse_args(args(&["--threads=8"])).unwrap();
+        assert_eq!(ok.threads, 8);
+    }
+
+    #[test]
+    fn telemetry_args_parse_and_validate() {
+        let opts = CampaignOptions::parse_args(args(&[
+            "--target-eps",
+            "0.01",
+            "--target-confidence=0.99",
+            "--metrics",
+            "out/metrics.json",
+            "--checkpoint=ck.json",
+            "--checkpoint-every",
+            "2048",
+            "--some-caller-flag",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(opts.target_eps, Some(0.01));
+        assert_eq!(opts.target_confidence, 0.99);
+        assert_eq!(
+            opts.metrics_path.as_deref(),
+            Some(std::path::Path::new("out/metrics.json"))
+        );
+        assert_eq!(
+            opts.checkpoint_path.as_deref(),
+            Some(std::path::Path::new("ck.json"))
+        );
+        assert_eq!(opts.checkpoint_every_runs, 2048);
+
+        assert!(CampaignOptions::parse_args(args(&["--target-eps", "-0.5"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--target-eps", "nope"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--target-confidence", "1.5"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--checkpoint-every", "0"])).is_err());
+    }
+
+    #[test]
     fn campaigns_are_seed_deterministic() {
         let f = fixture();
         let r = runner(&f);
@@ -708,5 +1194,78 @@ mod tests {
         assert_eq!(a.ssf, b.ssf);
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.class_counts, b.class_counts);
+    }
+
+    #[test]
+    fn observer_sees_every_chunk_boundary_in_order() {
+        struct Collect(Vec<ProgressEvent>, usize);
+        impl CampaignObserver for Collect {
+            fn on_progress(&mut self, ev: &ProgressEvent) -> ObserverAction {
+                self.0.push(ev.clone());
+                ObserverAction::Continue
+            }
+            fn on_finish(&mut self, _r: &CampaignResult) {
+                self.1 += 1;
+            }
+        }
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let n = 3 * CHUNK_RUNS + 100;
+        let mut obs = Collect(Vec::new(), 0);
+        let result =
+            run_campaign_observed(&r, &strat, n, 31, &CampaignOptions::default(), &mut obs);
+        assert_eq!(obs.1, 1, "on_finish fires once");
+        assert_eq!(obs.0.len(), 4, "one event per chunk");
+        assert_eq!(
+            obs.0.iter().map(|e| e.runs_done).collect::<Vec<_>>(),
+            vec![512, 1024, 1536, n]
+        );
+        let last = obs.0.last().unwrap();
+        assert_eq!(last.ssf, result.ssf);
+        assert_eq!(last.sample_variance, result.sample_variance);
+        assert_eq!(last.ess, result.ess);
+        assert_eq!(last.class_counts, result.class_counts);
+    }
+
+    #[test]
+    fn observer_abort_stops_at_a_chunk_boundary() {
+        struct AbortImmediately;
+        impl CampaignObserver for AbortImmediately {
+            fn on_progress(&mut self, _ev: &ProgressEvent) -> ObserverAction {
+                ObserverAction::Abort
+            }
+        }
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let result = run_campaign_observed(
+            &r,
+            &strat,
+            4 * CHUNK_RUNS,
+            31,
+            &CampaignOptions::default(),
+            &mut AbortImmediately,
+        );
+        assert_eq!(result.stop, StopReason::Aborted);
+        assert_eq!(result.n, CHUNK_RUNS);
+        assert_eq!(result.class_counts.total(), CHUNK_RUNS);
+    }
+
+    #[test]
+    fn target_eps_stops_early_and_meets_the_bound() {
+        // A loose eps is satisfiable almost immediately, but never before
+        // the EARLY_STOP_MIN_RUNS guard.
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let opts = CampaignOptions {
+            target_eps: Some(0.5),
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign_with(&r, &strat, 8 * CHUNK_RUNS, 31, &opts);
+        assert_eq!(result.stop, StopReason::TargetEps);
+        assert_eq!(result.n, EARLY_STOP_MIN_RUNS);
+        assert!(result.lln_bound(0.5) <= 1.0 - opts.target_confidence);
     }
 }

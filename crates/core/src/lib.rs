@@ -74,6 +74,7 @@ pub mod rng;
 pub mod sampling;
 pub mod space;
 pub mod stats;
+pub mod telemetry;
 
 pub use model::{EvalError, Evaluation, SystemModel};
 pub use precharacterize::Precharacterization;

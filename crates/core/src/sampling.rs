@@ -311,9 +311,12 @@ impl FramedStrategy {
 
     fn weight(&self, s: &AttackSample) -> f64 {
         let g = self.pmf(s);
-        if g <= 0.0 {
-            // Drawn samples always have positive mass; this only happens
-            // when evaluating foreign samples.
+        if g < f64::MIN_POSITIVE {
+            // Zero mass means a foreign sample off the strategy's support;
+            // a denormal g would survive the old `g <= 0` check and turn
+            // `f/g` into an inf/NaN weight that poisons the Welford
+            // accumulator. Either way the sample carries no usable mass:
+            // skip it with weight 0.
             return 0.0;
         }
         self.f_pmf(s) / g
@@ -428,10 +431,15 @@ impl ImportanceSampling {
                     let lifetime_ok = f64::from(prechar.cell_lifetime(g)) >= beta * fr.frame as f64;
                     1.0 + alpha * corr * f64::from(u8::from(lifetime_ok))
                 };
-                let frame_cells: Vec<GateId> = fr.cells.clone();
-                let in_frame: std::collections::HashSet<GateId> =
-                    frame_cells.iter().copied().collect();
-                let mut cells: Vec<GateId> = frame_cells
+                // Each cell's raw weight depends only on (cell, frame), but
+                // the smoothing pass below reads it once per (cell, radius,
+                // neighbor) triple — precompute the whole frame once. The
+                // map also answers frame membership, replacing the separate
+                // `in_frame` set.
+                let raw: std::collections::HashMap<GateId, f64> =
+                    fr.cells.iter().map(|&g| (g, raw_weight(g))).collect();
+                let mut cells: Vec<GateId> = fr
+                    .cells
                     .iter()
                     .copied()
                     .filter(|g| support.binary_search(g).is_ok())
@@ -446,16 +454,17 @@ impl ImportanceSampling {
                 let weights: Vec<f64> = cells
                     .iter()
                     .map(|&c| {
+                        let raw_c = raw[&c];
                         if smoothing_radius <= 0.0 {
-                            return raw_weight(c);
+                            return raw_c;
                         }
                         let mut acc = 0.0;
                         for &r in &radius_options {
-                            let mut best = raw_weight(c);
+                            let mut best = raw_c;
                             if r > 0.0 {
                                 for g in model.placement.cells_within(c, r) {
-                                    if in_frame.contains(&g) {
-                                        best = best.max(raw_weight(g));
+                                    if let Some(&w) = raw.get(&g) {
+                                        best = best.max(w);
                                     }
                                 }
                             }
@@ -625,6 +634,57 @@ mod tests {
                 assert!(w.is_finite(), "{}: infinite weight", strat.name());
             }
         }
+    }
+
+    #[test]
+    fn weight_guards_against_off_support_and_denormal_mass() {
+        let (model, prechar, cfg) = setup();
+        let f = baseline_distribution(&model, &cfg);
+        let is = ImportanceSampling::new(
+            f.clone(),
+            &model,
+            &prechar,
+            cfg.alpha,
+            cfg.beta,
+            cfg.radius_options.clone(),
+        );
+        // A foreign sample off the support (a timing distance no frame
+        // covers) has zero mass and must be skipped with weight 0.
+        let off = AttackSample {
+            t: 9_999,
+            center: model.placement.placeable()[0],
+            radius: 0.0,
+            phase: 0,
+        };
+        assert_eq!(is.pmf(&off), 0.0);
+        assert_eq!(is.weight(&off), 0.0);
+
+        // Regression: a *denormal* g survived the old `g <= 0` check and
+        // `f/g` overflowed to inf. Build a frame that gives one in-support
+        // cell essentially zero mass and check the weight skips instead.
+        let support = spatial_support(&f);
+        let pair = vec![support[0], support[1]];
+        let f2 = AttackDistribution {
+            temporal: TemporalDist::uniform(1, 1),
+            spatial: SpatialDist::UniformOverCells(pair.clone()),
+            radius: RadiusDist::uniform(vec![0.0]),
+        };
+        let frame = Frame::from_weights(1, pair.clone(), vec![f64::MIN_POSITIVE * 1e-6, 1.0]);
+        let strat = FramedStrategy::new(f2, vec![frame], RadiusDist::uniform(vec![0.0]));
+        let s = AttackSample {
+            t: 1,
+            center: pair[0],
+            radius: 0.0,
+            phase: 0,
+        };
+        let g = strat.pmf(&s);
+        assert!(
+            g > 0.0 && g < f64::MIN_POSITIVE,
+            "fixture must produce a denormal g, got {g:e}"
+        );
+        assert!(strat.f_pmf(&s) > 0.0);
+        assert!(!(strat.f_pmf(&s) / g).is_finite(), "fixture must overflow");
+        assert_eq!(strat.weight(&s), 0.0, "denormal g must skip, not blow up");
     }
 
     #[test]

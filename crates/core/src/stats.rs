@@ -71,6 +71,18 @@ impl RunningStats {
         self.n += other.n;
     }
 
+    /// Decompose into the exact Welford state `(count, mean, M2)`, for
+    /// checkpoint serialization. [`from_raw`](Self::from_raw) rebuilds an
+    /// accumulator that continues bit-identically.
+    pub fn to_raw(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from a [`to_raw`](Self::to_raw) triple.
+    pub fn from_raw(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
+
     /// The Chebyshev/LLN bound of §3.3 on `Pr[|estimate − SSF| ≥ eps]`:
     /// `variance / (n · eps²)`, clamped to 1.
     pub fn lln_bound(&self, eps: f64) -> f64 {
@@ -97,13 +109,23 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics when `bins == 0` or `max <= 0`.
+    /// Panics when `bins == 0`, `max <= 0`, or any value is NaN. Negative
+    /// values are a caller bug (the range is `[0, max]`): debug builds
+    /// panic, release builds clamp them into bin 0.
     pub fn build(values: impl IntoIterator<Item = f64>, bins: usize, max: f64) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(max > 0.0, "max must be positive");
         let mut counts = vec![0u64; bins];
         for v in values {
-            let idx = ((v / max * bins as f64) as usize).min(bins - 1);
+            assert!(!v.is_nan(), "histogram value is NaN");
+            debug_assert!(
+                v >= 0.0,
+                "histogram value {v} is negative (range is [0, max])"
+            );
+            // The float→usize cast saturates, but only by accident of the
+            // `as` semantics — clamp explicitly so the release-build
+            // behavior for out-of-range negatives is a documented choice.
+            let idx = ((v.max(0.0) / max * bins as f64) as usize).min(bins - 1);
             counts[idx] += 1;
         }
         Self { counts, max }
@@ -210,5 +232,52 @@ mod tests {
     fn empty_histogram_probabilities_are_zero() {
         let h = Histogram::build(std::iter::empty(), 4, 1.0);
         assert_eq!(h.probabilities(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn raw_round_trip_continues_bit_identically() {
+        let mut reference = RunningStats::new();
+        let mut restored = RunningStats::new();
+        for i in 0..100 {
+            let x = ((i * 37) % 101) as f64 / 7.0;
+            reference.push(x);
+            restored.push(x);
+        }
+        let (n, mean, m2) = restored.to_raw();
+        let mut restored = RunningStats::from_raw(n, mean, m2);
+        for i in 100..200 {
+            let x = ((i * 37) % 101) as f64 / 7.0;
+            reference.push(x);
+            restored.push(x);
+        }
+        let (n_a, mean_a, m2_a) = reference.to_raw();
+        let (n_b, mean_b, m2_b) = restored.to_raw();
+        assert_eq!(n_a, n_b);
+        assert_eq!(mean_a.to_bits(), mean_b.to_bits());
+        assert_eq!(m2_a.to_bits(), m2_b.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan() {
+        // Regression: NaN used to saturate to bin 0 via the `as usize`
+        // cast, silently corrupting the distribution.
+        Histogram::build([0.5, f64::NAN], 3, 3.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn histogram_rejects_negatives_in_debug() {
+        Histogram::build([-0.25], 3, 3.0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn histogram_clamps_negatives_in_release() {
+        // Regression: negatives used to be indistinguishable from genuine
+        // bin-0 values; the clamp is now explicit and documented.
+        let h = Histogram::build([-5.0, -0.1, 0.5, 2.5], 3, 3.0);
+        assert_eq!(h.counts, vec![3, 0, 1]);
     }
 }

@@ -1,0 +1,968 @@
+//! Campaign telemetry: structured progress events, convergence metrics,
+//! and crash-safe checkpoint/resume for the Monte Carlo engine.
+//!
+//! Three consumers hang off the campaign driver's in-order merge loop:
+//!
+//! * **Observers** ([`CampaignObserver`]) receive a [`ProgressEvent`] at
+//!   every merged chunk boundary — running SSF, Welford variance, the
+//!   §3.3 LLN bound at the configured `--target-eps`, the importance-
+//!   sampling effective sample size `(Σw)²/Σw²`, per-class strike counts
+//!   and wall-clock throughput. An observer can abort the campaign
+//!   (cleanly, at a chunk boundary) by returning
+//!   [`ObserverAction::Abort`].
+//! * **Metrics** — when `CampaignOptions::metrics_path` is set, the
+//!   driver serializes a summary of the finished campaign (stop reason,
+//!   final `n`, ESS, convergence trace, …) as JSON; the format is pinned
+//!   by `schemas/metrics.schema.json` and [`validate_against_schema`].
+//! * **Checkpoints** — when `CampaignOptions::checkpoint_path` is set,
+//!   the driver periodically snapshots the merged prefix (exact Welford
+//!   state, class counts, attribution, chunk cursor). Every `f64` is
+//!   stored as its IEEE-754 bit pattern, so a resumed campaign folds the
+//!   same bits the uninterrupted one would and the final
+//!   [`CampaignResult`](crate::estimator::CampaignResult) is
+//!   bit-identical. Writes go through a temp file + rename, so a crash
+//!   mid-write leaves the previous snapshot intact.
+//!
+//! The vendored `serde` is a no-op stub (no format crate in the offline
+//! build), so serialization here is a small hand-rolled JSON writer and
+//! recursive-descent parser ([`JsonValue`]).
+
+use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts};
+use crate::stats::RunningStats;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+use xlmc_soc::MpuBit;
+
+// ---------------------------------------------------------------------------
+// Progress events and observers
+// ---------------------------------------------------------------------------
+
+/// One progress report, emitted at a merged chunk boundary (in chunk
+/// order, so a given `runs_done` always reports the same statistics at
+/// any thread count — only the wall-clock fields vary run to run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Runs folded into the estimate so far.
+    pub runs_done: usize,
+    /// The campaign's requested run count.
+    pub total_runs: usize,
+    /// The running SSF estimate.
+    pub ssf: f64,
+    /// The running Welford sample variance.
+    pub sample_variance: f64,
+    /// The importance-sampling effective sample size `(Σw)²/Σw²`.
+    pub ess: f64,
+    /// The configured `--target-eps`, if any.
+    pub target_eps: Option<f64>,
+    /// The LLN bound `Pr[|ŜSF − SSF| ≥ eps]` at `target_eps`.
+    pub lln_bound: Option<f64>,
+    /// Strike-class split so far.
+    pub class_counts: ClassCounts,
+    /// Wall-clock seconds since this campaign invocation started
+    /// (excludes time spent before a resumed checkpoint was written).
+    pub elapsed_s: f64,
+    /// Fresh (non-resumed) runs per wall-clock second.
+    pub runs_per_sec: f64,
+}
+
+/// What the campaign driver should do after an observer callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverAction {
+    /// Keep running.
+    Continue,
+    /// Stop at this chunk boundary. The driver returns a partial
+    /// [`CampaignResult`] with
+    /// [`StopReason::Aborted`](crate::estimator::StopReason); periodic
+    /// checkpoints already on disk stay valid for resume.
+    Abort,
+}
+
+/// Hook into the campaign driver's merge loop.
+///
+/// Callbacks run on the merging thread, between chunk folds — they can
+/// be slow without perturbing the estimate (the statistics are already
+/// folded), but they do gate throughput, so heavy observers should
+/// rate-limit themselves (see [`StderrProgress`]).
+pub trait CampaignObserver {
+    /// Called after each chunk of runs is folded into the estimate.
+    fn on_progress(&mut self, _event: &ProgressEvent) -> ObserverAction {
+        ObserverAction::Continue
+    }
+
+    /// Called once with the finished (or aborted) campaign result,
+    /// before the driver returns it.
+    fn on_finish(&mut self, _result: &CampaignResult) {}
+}
+
+/// The do-nothing observer behind
+/// [`run_campaign_with`](crate::estimator::run_campaign_with).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {}
+
+/// A rate-limited progress printer for long campaigns (adopted by the
+/// bench and figure binaries): one stderr line at most every
+/// `min_interval`, plus the final boundary.
+#[derive(Debug)]
+pub struct StderrProgress {
+    label: String,
+    min_interval: Duration,
+    last_print: Option<Instant>,
+}
+
+impl StderrProgress {
+    /// A printer tagged with `label`, printing at most every 2 seconds.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self::with_interval(label, Duration::from_secs(2))
+    }
+
+    /// A printer with an explicit minimum interval between lines.
+    pub fn with_interval(label: impl Into<String>, min_interval: Duration) -> Self {
+        Self {
+            label: label.into(),
+            min_interval,
+            last_print: None,
+        }
+    }
+}
+
+impl CampaignObserver for StderrProgress {
+    fn on_progress(&mut self, ev: &ProgressEvent) -> ObserverAction {
+        let due = self
+            .last_print
+            .is_none_or(|t| t.elapsed() >= self.min_interval);
+        if due || ev.runs_done >= ev.total_runs {
+            self.last_print = Some(Instant::now());
+            let bound = ev
+                .lln_bound
+                .map_or(String::new(), |b| format!("  lln={b:.3e}"));
+            eprintln!(
+                "[{}] {}/{} runs  ssf={:.5}  s2={:.3e}  ess={:.0}{}  {:.0} runs/s",
+                self.label,
+                ev.runs_done,
+                ev.total_runs,
+                ev.ssf,
+                ev.sample_variance,
+                ev.ess,
+                bound,
+                ev.runs_per_sec,
+            );
+        }
+        ObserverAction::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value, parser, and writer helpers
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document (object keys keep file order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<JsonValue, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The JSON type name used by the schema validator.
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Num(x) if x.fract() == 0.0 => "integer",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} of JSON input",
+            b as char, *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+        None => Err("unexpected end of JSON input".to_owned()),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a valid &str).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite `f64` as a round-trippable JSON number, non-finite as `null`.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// The IEEE-754 bit pattern of an `f64` as a hex JSON string — the
+/// bit-exact encoding every checkpoint float goes through.
+fn bits_str(x: f64) -> String {
+    format!("\"{:#018x}\"", x.to_bits())
+}
+
+fn f64_from_bits_str(v: &JsonValue, what: &str) -> Result<f64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("{what}: expected a hex bit string"))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("{what}: missing 0x prefix in {s:?}"))?;
+    u64::from_str_radix(digits, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("{what}: {e}"))
+}
+
+fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+const CHECKPOINT_FORMAT: &str = "xlmc-checkpoint-v1";
+
+fn bit_names() -> &'static HashMap<String, MpuBit> {
+    static NAMES: OnceLock<HashMap<String, MpuBit>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        MpuBit::all()
+            .into_iter()
+            .map(|b| (b.dff_name(), b))
+            .collect()
+    })
+}
+
+/// A crash-safe snapshot of a campaign's merged prefix.
+///
+/// The campaign driver merges chunk partials strictly in chunk order, so
+/// the merged prefix plus the chunk cursor fully determine the rest of
+/// the campaign: per-run RNG streams derive from `(seed, run_index)`
+/// alone (the seed is part of the header — the "SplitMix64 stream seeds"
+/// need no further state), and re-running chunks `cursor..` folds exactly
+/// the bits an uninterrupted campaign would.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CampaignCheckpoint {
+    pub(crate) seed: u64,
+    pub(crate) requested_runs: usize,
+    pub(crate) chunk_runs: usize,
+    pub(crate) strategy: String,
+    pub(crate) kernel: CampaignKernel,
+    pub(crate) merged_chunks: usize,
+    pub(crate) stats: RunningStats,
+    pub(crate) w_sum: f64,
+    pub(crate) w_sq_sum: f64,
+    pub(crate) class_counts: ClassCounts,
+    pub(crate) analytic_runs: usize,
+    pub(crate) rtl_runs: usize,
+    pub(crate) successes: usize,
+    pub(crate) attribution: BTreeMap<MpuBit, f64>,
+    pub(crate) boundaries: Vec<(usize, f64)>,
+}
+
+impl CampaignCheckpoint {
+    /// Serialize to the on-disk JSON form.
+    pub(crate) fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let (count, mean, m2) = self.stats.to_raw();
+        let mut s = String::with_capacity(1024 + 32 * self.boundaries.len());
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"format\": \"{CHECKPOINT_FORMAT}\",");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"requested_runs\": {},", self.requested_runs);
+        let _ = writeln!(s, "  \"chunk_runs\": {},", self.chunk_runs);
+        let _ = writeln!(s, "  \"strategy\": \"{}\",", json_escape(&self.strategy));
+        let _ = writeln!(s, "  \"kernel\": \"{}\",", self.kernel.as_arg());
+        let _ = writeln!(s, "  \"merged_chunks\": {},", self.merged_chunks);
+        let _ = writeln!(
+            s,
+            "  \"stats\": {{\"count\": {count}, \"mean_bits\": {}, \"m2_bits\": {}}},",
+            bits_str(mean),
+            bits_str(m2)
+        );
+        let _ = writeln!(s, "  \"w_sum_bits\": {},", bits_str(self.w_sum));
+        let _ = writeln!(s, "  \"w_sq_sum_bits\": {},", bits_str(self.w_sq_sum));
+        let _ = writeln!(
+            s,
+            "  \"class_counts\": {{\"masked\": {}, \"memory_only\": {}, \"mixed\": {}}},",
+            self.class_counts.masked, self.class_counts.memory_only, self.class_counts.mixed
+        );
+        let _ = writeln!(s, "  \"analytic_runs\": {},", self.analytic_runs);
+        let _ = writeln!(s, "  \"rtl_runs\": {},", self.rtl_runs);
+        let _ = writeln!(s, "  \"successes\": {},", self.successes);
+        s.push_str("  \"attribution\": [");
+        for (i, (bit, w)) in self.attribution.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"bit\": \"{}\", \"w_bits\": {}}}",
+                json_escape(&bit.dff_name()),
+                bits_str(*w)
+            );
+        }
+        s.push_str("],\n  \"boundaries\": [");
+        for (i, (runs, mean)) in self.boundaries.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "[{runs}, {}]", bits_str(*mean));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Deserialize the on-disk JSON form.
+    pub(crate) fn from_json(src: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(src)?;
+        let format = doc.get("format").and_then(JsonValue::as_str).unwrap_or("");
+        if format != CHECKPOINT_FORMAT {
+            return Err(format!(
+                "unsupported checkpoint format {format:?} (expected {CHECKPOINT_FORMAT:?})"
+            ));
+        }
+        let kernel = match doc.get("kernel").and_then(JsonValue::as_str) {
+            Some("scalar") => CampaignKernel::Scalar,
+            Some("batched") => CampaignKernel::Batched,
+            other => return Err(format!("invalid checkpoint kernel {other:?}")),
+        };
+        let stats_obj = doc.get("stats").ok_or("missing stats object")?;
+        let stats = RunningStats::from_raw(
+            get_u64(stats_obj, "count")?,
+            f64_from_bits_str(
+                stats_obj.get("mean_bits").ok_or("missing mean_bits")?,
+                "mean",
+            )?,
+            f64_from_bits_str(stats_obj.get("m2_bits").ok_or("missing m2_bits")?, "m2")?,
+        );
+        let counts_obj = doc.get("class_counts").ok_or("missing class_counts")?;
+        let class_counts = ClassCounts {
+            masked: get_u64(counts_obj, "masked")? as usize,
+            memory_only: get_u64(counts_obj, "memory_only")? as usize,
+            mixed: get_u64(counts_obj, "mixed")? as usize,
+        };
+        let mut attribution = BTreeMap::new();
+        for entry in doc
+            .get("attribution")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing attribution array")?
+        {
+            let name = entry
+                .get("bit")
+                .and_then(JsonValue::as_str)
+                .ok_or("attribution entry missing bit name")?;
+            let bit = *bit_names()
+                .get(name)
+                .ok_or_else(|| format!("unknown register bit {name:?}"))?;
+            let w = f64_from_bits_str(
+                entry
+                    .get("w_bits")
+                    .ok_or("attribution entry missing w_bits")?,
+                "attribution weight",
+            )?;
+            attribution.insert(bit, w);
+        }
+        let mut boundaries = Vec::new();
+        for entry in doc
+            .get("boundaries")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing boundaries array")?
+        {
+            let pair = entry.as_arr().ok_or("boundary entry is not a pair")?;
+            if pair.len() != 2 {
+                return Err("boundary entry is not a pair".to_owned());
+            }
+            let runs = pair[0].as_u64().ok_or("boundary run count")? as usize;
+            boundaries.push((runs, f64_from_bits_str(&pair[1], "boundary mean")?));
+        }
+        Ok(Self {
+            seed: get_u64(&doc, "seed")?,
+            requested_runs: get_u64(&doc, "requested_runs")? as usize,
+            chunk_runs: get_u64(&doc, "chunk_runs")? as usize,
+            strategy: doc
+                .get("strategy")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing strategy")?
+                .to_owned(),
+            kernel,
+            merged_chunks: get_u64(&doc, "merged_chunks")? as usize,
+            stats,
+            w_sum: f64_from_bits_str(doc.get("w_sum_bits").ok_or("missing w_sum_bits")?, "w_sum")?,
+            w_sq_sum: f64_from_bits_str(
+                doc.get("w_sq_sum_bits").ok_or("missing w_sq_sum_bits")?,
+                "w_sq_sum",
+            )?,
+            class_counts,
+            analytic_runs: get_u64(&doc, "analytic_runs")? as usize,
+            rtl_runs: get_u64(&doc, "rtl_runs")? as usize,
+            successes: get_u64(&doc, "successes")? as usize,
+            attribution,
+            boundaries,
+        })
+    }
+
+    /// Write the checkpoint crash-safely: temp file in the same
+    /// directory, then an atomic rename over the target.
+    pub(crate) fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a checkpoint; `Ok(None)` when the file does not exist yet.
+    pub(crate) fn load(path: &Path) -> io::Result<Option<Self>> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Self::from_json(&src)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// The metrics format tag pinned by `schemas/metrics.schema.json`.
+pub const METRICS_FORMAT: &str = "xlmc-metrics-v1";
+
+/// Campaign-level context the metrics file records alongside the result.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsMeta {
+    /// The campaign seed.
+    pub seed: u64,
+    /// The requested run count (`n` in the result may be smaller after
+    /// an early stop).
+    pub requested_runs: usize,
+    /// The configured `--target-eps`, if any.
+    pub target_eps: Option<f64>,
+    /// The configured `--target-confidence`.
+    pub target_confidence: f64,
+    /// Wall-clock seconds of this invocation.
+    pub elapsed_s: f64,
+    /// Fresh runs per wall-clock second.
+    pub runs_per_sec: f64,
+}
+
+/// Render the finished campaign as the metrics JSON document.
+pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(1024 + 32 * result.trace.len());
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"format\": \"{METRICS_FORMAT}\",");
+    let _ = writeln!(s, "  \"strategy\": \"{}\",", json_escape(&result.strategy));
+    let _ = writeln!(s, "  \"seed\": {},", meta.seed);
+    let _ = writeln!(s, "  \"requested_runs\": {},", meta.requested_runs);
+    let _ = writeln!(s, "  \"n\": {},", result.n);
+    let _ = writeln!(s, "  \"ssf\": {},", json_num(result.ssf));
+    let _ = writeln!(
+        s,
+        "  \"sample_variance\": {},",
+        json_num(result.sample_variance)
+    );
+    let _ = writeln!(s, "  \"ess\": {},", json_num(result.ess));
+    let _ = writeln!(s, "  \"stop_reason\": \"{}\",", result.stop.as_str());
+    let _ = writeln!(
+        s,
+        "  \"target_eps\": {},",
+        meta.target_eps.map_or("null".to_owned(), json_num)
+    );
+    let _ = writeln!(
+        s,
+        "  \"target_confidence\": {},",
+        json_num(meta.target_confidence)
+    );
+    let _ = writeln!(
+        s,
+        "  \"lln_bound_at_target\": {},",
+        meta.target_eps
+            .map_or("null".to_owned(), |e| json_num(result.lln_bound(e)))
+    );
+    let _ = writeln!(s, "  \"elapsed_s\": {},", json_num(meta.elapsed_s));
+    let _ = writeln!(s, "  \"runs_per_sec\": {},", json_num(meta.runs_per_sec));
+    let _ = writeln!(
+        s,
+        "  \"class_counts\": {{\"masked\": {}, \"memory_only\": {}, \"mixed\": {}}},",
+        result.class_counts.masked, result.class_counts.memory_only, result.class_counts.mixed
+    );
+    let _ = writeln!(s, "  \"analytic_runs\": {},", result.analytic_runs);
+    let _ = writeln!(s, "  \"rtl_runs\": {},", result.rtl_runs);
+    let _ = writeln!(s, "  \"successes\": {},", result.successes);
+    s.push_str("  \"trace\": [");
+    for (i, (runs, ssf)) in result.trace.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "[{runs}, {}]", json_num(*ssf));
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Write the metrics file (temp + rename, like checkpoints).
+pub fn write_metrics(path: &Path, result: &CampaignResult, meta: &MetricsMeta) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, metrics_json(result, meta))?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+/// Validate `doc` against a JSON-Schema-style document supporting the
+/// subset the checked-in `schemas/metrics.schema.json` uses: `type`
+/// (string or array of strings, with `integer` ⊂ `number`), `required`,
+/// `properties`, `items`, and `enum` (of strings). Returns the first
+/// violation found, with a path.
+pub fn validate_against_schema(doc: &JsonValue, schema: &JsonValue) -> Result<(), String> {
+    validate_at(doc, schema, "$")
+}
+
+fn validate_at(doc: &JsonValue, schema: &JsonValue, path: &str) -> Result<(), String> {
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            JsonValue::Str(s) => vec![s.as_str()],
+            JsonValue::Arr(items) => items.iter().filter_map(JsonValue::as_str).collect(),
+            _ => return Err(format!("{path}: malformed schema type")),
+        };
+        let actual = doc.type_name();
+        let ok = allowed
+            .iter()
+            .any(|&t| t == actual || (t == "number" && actual == "integer"));
+        if !ok {
+            return Err(format!("{path}: expected type {allowed:?}, got {actual}"));
+        }
+    }
+    if let Some(JsonValue::Arr(options)) = schema.get("enum") {
+        if !options.contains(doc) {
+            return Err(format!("{path}: value not in schema enum"));
+        }
+    }
+    if let Some(JsonValue::Arr(required)) = schema.get("required") {
+        for key in required.iter().filter_map(JsonValue::as_str) {
+            if doc.get(key).is_none() {
+                return Err(format!("{path}: missing required field {key:?}"));
+            }
+        }
+    }
+    if let (Some(JsonValue::Obj(props)), JsonValue::Obj(members)) = (schema.get("properties"), doc)
+    {
+        for (key, value) in members {
+            if let Some((_, sub)) = props.iter().find(|(k, _)| k == key) {
+                validate_at(value, sub, &format!("{path}.{key}"))?;
+            }
+        }
+    }
+    if let (Some(items), JsonValue::Arr(elems)) = (schema.get("items"), doc) {
+        for (i, elem) in elems.iter().enumerate() {
+            validate_at(elem, items, &format!("{path}[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::StopReason;
+
+    #[test]
+    fn json_round_trips_checkpoint_bits_exactly() {
+        let mut attribution = BTreeMap::new();
+        attribution.insert(MpuBit::Enable, 0.1 + 0.2); // a value with ugly bits
+        attribution.insert(MpuBit::Base(1, 3), f64::MIN_POSITIVE);
+        let mut stats = RunningStats::new();
+        for x in [0.0, 1.25, 1.0 / 3.0, 7e-300] {
+            stats.push(x);
+        }
+        let ck = CampaignCheckpoint {
+            seed: 0xDEAD_BEEF,
+            requested_runs: 4096,
+            chunk_runs: 512,
+            strategy: "importance".to_owned(),
+            kernel: CampaignKernel::Batched,
+            merged_chunks: 3,
+            stats,
+            w_sum: 1234.5678901234567,
+            w_sq_sum: 9.87654321e-12,
+            class_counts: ClassCounts {
+                masked: 100,
+                memory_only: 20,
+                mixed: 7,
+            },
+            analytic_runs: 20,
+            rtl_runs: 7,
+            successes: 5,
+            attribution,
+            boundaries: vec![(512, 0.001953125), (1024, 0.1 / 3.0), (1536, 0.25)],
+        };
+        let round = CampaignCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(round, ck);
+        // Bit-exactness of the Welford state, not just PartialEq.
+        let (n0, m0, s0) = ck.stats.to_raw();
+        let (n1, m1, s1) = round.stats.to_raw();
+        assert_eq!(
+            (n0, m0.to_bits(), s0.to_bits()),
+            (n1, m1.to_bits(), s1.to_bits())
+        );
+        assert_eq!(round.w_sum.to_bits(), ck.w_sum.to_bits());
+        for ((_, a), (_, b)) in round.boundaries.iter().zip(&ck.boundaries) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_foreign_formats_and_bad_bits() {
+        assert!(CampaignCheckpoint::from_json("{}").is_err());
+        assert!(CampaignCheckpoint::from_json("{\"format\": \"something-else\"}").is_err());
+        assert!(CampaignCheckpoint::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let doc =
+            JsonValue::parse(r#"{"a": [1, -2.5e3, "x\n\"y\"", true, null], "b": {"c": 0.125}}"#)
+                .unwrap();
+        let arr = doc.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(arr[3], JsonValue::Bool(true));
+        assert_eq!(arr[4], JsonValue::Null);
+        assert_eq!(
+            doc.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(JsonValue::as_f64),
+            Some(0.125)
+        );
+        assert!(JsonValue::parse("{\"a\": 1} trailing").is_err());
+        assert!(JsonValue::parse("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_self_consistent() {
+        let result = CampaignResult {
+            strategy: "random".to_owned(),
+            n: 1024,
+            ssf: 0.017,
+            sample_variance: 1.2e-2,
+            ess: 1020.5,
+            successes: 17,
+            trace: vec![(512, 0.015), (1024, 0.017)],
+            class_counts: ClassCounts {
+                masked: 900,
+                memory_only: 100,
+                mixed: 24,
+            },
+            analytic_runs: 100,
+            rtl_runs: 24,
+            attribution: BTreeMap::new(),
+            stop: StopReason::TargetEps,
+        };
+        let meta = MetricsMeta {
+            seed: 7,
+            requested_runs: 4096,
+            target_eps: Some(0.05),
+            target_confidence: 0.95,
+            elapsed_s: 1.5,
+            runs_per_sec: 682.6,
+        };
+        let doc = JsonValue::parse(&metrics_json(&result, &meta)).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(JsonValue::as_str),
+            Some(METRICS_FORMAT)
+        );
+        assert_eq!(doc.get("n").and_then(JsonValue::as_u64), Some(1024));
+        assert_eq!(
+            doc.get("stop_reason").and_then(JsonValue::as_str),
+            Some("target_eps")
+        );
+        assert_eq!(doc.get("ess").and_then(JsonValue::as_f64), Some(1020.5));
+        let trace = doc.get("trace").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].as_arr().unwrap()[0].as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn schema_validator_accepts_and_rejects() {
+        let schema = JsonValue::parse(
+            r#"{
+                "type": "object",
+                "required": ["name", "count"],
+                "properties": {
+                    "name": {"type": "string", "enum": ["a", "b"]},
+                    "count": {"type": "integer"},
+                    "extra": {"type": ["number", "null"]},
+                    "list": {"type": "array", "items": {"type": "number"}}
+                }
+            }"#,
+        )
+        .unwrap();
+        let ok = JsonValue::parse(r#"{"name": "a", "count": 3, "extra": null, "list": [1, 2.5]}"#)
+            .unwrap();
+        assert_eq!(validate_against_schema(&ok, &schema), Ok(()));
+        let missing = JsonValue::parse(r#"{"name": "a"}"#).unwrap();
+        assert!(validate_against_schema(&missing, &schema)
+            .unwrap_err()
+            .contains("count"));
+        let bad_enum = JsonValue::parse(r#"{"name": "z", "count": 3}"#).unwrap();
+        assert!(validate_against_schema(&bad_enum, &schema).is_err());
+        let bad_type = JsonValue::parse(r#"{"name": "a", "count": 3.5}"#).unwrap();
+        assert!(validate_against_schema(&bad_type, &schema).is_err());
+        let bad_item = JsonValue::parse(r#"{"name": "a", "count": 3, "list": ["x"]}"#).unwrap();
+        assert!(validate_against_schema(&bad_item, &schema).is_err());
+    }
+
+    #[test]
+    fn stderr_progress_continues() {
+        let mut p = StderrProgress::with_interval("test", Duration::from_secs(3600));
+        let ev = ProgressEvent {
+            runs_done: 512,
+            total_runs: 1024,
+            ssf: 0.01,
+            sample_variance: 1e-3,
+            ess: 500.0,
+            target_eps: None,
+            lln_bound: None,
+            class_counts: ClassCounts::default(),
+            elapsed_s: 0.5,
+            runs_per_sec: 1024.0,
+        };
+        assert_eq!(p.on_progress(&ev), ObserverAction::Continue);
+        // Second call inside the interval is rate-limited but still
+        // continues (and the final boundary always prints).
+        assert_eq!(p.on_progress(&ev), ObserverAction::Continue);
+    }
+}
