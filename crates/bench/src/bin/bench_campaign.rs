@@ -16,18 +16,21 @@
 //!
 //! `--smoke` runs a reduced campaign and **fails** (exit 1) if the batched
 //! kernel's single-thread throughput drops below the scalar kernel's — the
-//! CI regression gate for the lane-packing fast path.
+//! CI regression gate for the lane-packing fast path. With `--trace` the
+//! gate is reported but not enforced: span recording adds per-batch
+//! overhead only the batched kernel pays, so the comparison is unfair.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
-use xlmc::estimator::{run_campaign_observed, CampaignKernel, CampaignOptions};
+use xlmc::estimator::{replay_run, run_campaign_observed, CampaignKernel, CampaignOptions};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
 use xlmc::stats::RunningStats;
 use xlmc::telemetry::StderrProgress;
-use xlmc_bench::ExperimentContext;
+use xlmc::trace::TraceSink;
+use xlmc_bench::{tagged_path, ExperimentContext};
 
 const RUNS: usize = 100_000;
 const SMOKE_RUNS: usize = 20_000;
@@ -68,15 +71,38 @@ fn engine(
     threads: usize,
     kernel: CampaignKernel,
     label: String,
+    base: &CampaignOptions,
 ) -> Row {
-    let opts = CampaignOptions {
+    let mut opts = CampaignOptions {
         threads,
-        ..CampaignOptions::with_kernel(kernel)
+        kernel,
+        ..base.clone()
     };
+    // Tag the output paths per row so configurations don't clobber each
+    // other (same scheme as run_observed_campaign).
+    if let Some(p) = &opts.metrics_path {
+        opts.metrics_path = Some(tagged_path(p, &label));
+    }
+    if let Some(p) = &opts.checkpoint_path {
+        opts.checkpoint_path = Some(tagged_path(p, &label));
+    }
+    if let Some(p) = &opts.trace_path {
+        opts.trace_path = Some(tagged_path(p, &label));
+    }
     let mut progress = StderrProgress::new(&label);
     let start = Instant::now();
     let r = run_campaign_observed(runner, strategy, runs, SEED, &opts, &mut progress);
     let elapsed = start.elapsed().as_secs_f64();
+    // Provenance check: re-derive the campaign's first successful run
+    // solo from (seed, index) and require the same verdict.
+    if let Some(idx) = r.first_success {
+        let rec = replay_run(runner, strategy, SEED, idx, &TraceSink::disabled());
+        assert!(
+            rec.success,
+            "{label}: replay of first successful run {idx} did not succeed"
+        );
+        eprintln!("[{label}] replayed first success (run {idx}): verdict matches");
+    }
     Row {
         label,
         runs_per_sec: runs as f64 / elapsed,
@@ -86,10 +112,12 @@ fn engine(
 }
 
 fn main() {
+    // parse_args ignores unknown flags, so `--smoke` passes through.
+    let base_opts = CampaignOptions::from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let runs = if smoke { SMOKE_RUNS } else { RUNS };
     eprintln!("[bench_campaign] building model and golden runs ...");
-    let ctx = ExperimentContext::build();
+    let ctx = ExperimentContext::build_observed(&base_opts);
     let runner = FaultRunner {
         model: &ctx.model,
         eval: &ctx.write_eval,
@@ -116,6 +144,7 @@ fn main() {
             1,
             CampaignKernel::Scalar,
             "scalar_threads_1".into(),
+            &base_opts,
         ),
     ];
     for threads in [1, 2, 4] {
@@ -126,6 +155,7 @@ fn main() {
             threads,
             CampaignKernel::Batched,
             format!("engine_threads_{threads}"),
+            &base_opts,
         ));
     }
 
@@ -177,17 +207,28 @@ fn main() {
         batched.ssf
     );
     if smoke {
-        if batched.runs_per_sec < scalar.runs_per_sec {
+        // The throughput gate only means something untraced: span recording
+        // sits inside the batched kernel's per-batch loop (the scalar kernel
+        // records no inner spans), so a traced smoke run systematically
+        // penalizes exactly the kernel the gate protects.
+        if base_opts.trace_path.is_some() {
+            println!(
+                "smoke ok (traced; throughput gate skipped): batched {:.0} runs/s, \
+                 scalar {:.0} runs/s",
+                batched.runs_per_sec, scalar.runs_per_sec
+            );
+        } else if batched.runs_per_sec < scalar.runs_per_sec {
             eprintln!(
                 "SMOKE FAIL: batched kernel ({:.0} runs/s) slower than scalar ({:.0} runs/s)",
                 batched.runs_per_sec, scalar.runs_per_sec
             );
             std::process::exit(1);
+        } else {
+            println!(
+                "smoke ok: batched {:.0} runs/s >= scalar {:.0} runs/s",
+                batched.runs_per_sec, scalar.runs_per_sec
+            );
         }
-        println!(
-            "smoke ok: batched {:.0} runs/s >= scalar {:.0} runs/s",
-            batched.runs_per_sec, scalar.runs_per_sec
-        );
     } else {
         println!("wrote BENCH_campaign.json");
     }

@@ -6,12 +6,14 @@
 //! The paper observes that "more than half of the total registers have long
 //! lifetime and 0 contamination number".
 
+use xlmc::estimator::CampaignOptions;
 use xlmc::lifetime::{RegisterKind, LIFETIME_CAP};
 use xlmc::stats::Histogram;
 use xlmc_bench::{pct, print_table, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::build();
+    let opts = CampaignOptions::from_args();
+    let ctx = ExperimentContext::build_observed(&opts);
     let chars = &ctx.prechar.registers;
 
     // Figure 4(a): error-lifetime distribution.

@@ -7,12 +7,14 @@
 //! total register count versus the registers in the responding-signal cone
 //! and the computation-type subset.
 
+use xlmc::estimator::CampaignOptions;
 use xlmc::lifetime::RegisterKind;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling};
 use xlmc_bench::{print_table, sparkline, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::build();
+    let opts = CampaignOptions::from_args();
+    let ctx = ExperimentContext::build_observed(&opts);
     let f = baseline_distribution(&ctx.model, &ctx.cfg);
     let is = ImportanceSampling::new(
         f,

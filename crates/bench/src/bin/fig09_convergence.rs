@@ -15,7 +15,7 @@ use xlmc_bench::{print_table, run_observed_campaign, sparkline, ExperimentContex
 
 fn main() {
     let opts = CampaignOptions::from_args();
-    let ctx = ExperimentContext::build();
+    let ctx = ExperimentContext::build_observed(&opts);
     let runner = FaultRunner {
         model: &ctx.model,
         eval: &ctx.write_eval,

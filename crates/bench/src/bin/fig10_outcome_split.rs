@@ -15,7 +15,7 @@ use xlmc_netlist::{CellKind, GateId};
 
 fn main() {
     let opts = CampaignOptions::from_args();
-    let ctx = ExperimentContext::build();
+    let ctx = ExperimentContext::build_observed(&opts);
     let runner = FaultRunner {
         model: &ctx.model,
         eval: &ctx.write_eval,

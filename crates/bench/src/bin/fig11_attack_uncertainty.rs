@@ -17,6 +17,7 @@ use xlmc_netlist::GateId;
 use xlmc_soc::MpuBit;
 
 /// SSF of the write/read benchmark under a given attacker distribution.
+#[allow(clippy::too_many_arguments)]
 fn ssf(
     model: &SystemModel,
     eval: &Evaluation,
@@ -24,6 +25,7 @@ fn ssf(
     f: AttackDistribution,
     n: usize,
     seed: u64,
+    opts: &CampaignOptions,
     tag: &str,
 ) -> f64 {
     let runner = FaultRunner {
@@ -32,19 +34,12 @@ fn ssf(
         prechar,
         hardening: None,
     };
-    run_observed_campaign(
-        &runner,
-        &RandomSampling::new(f),
-        n,
-        seed,
-        &CampaignOptions::from_args(),
-        tag,
-    )
-    .ssf
+    run_observed_campaign(&runner, &RandomSampling::new(f), n, seed, opts, tag).ssf
 }
 
 fn main() {
-    let ctx = ExperimentContext::build();
+    let opts = CampaignOptions::from_args();
+    let ctx = ExperimentContext::build_observed(&opts);
     let subblock = subblock_cells(&ctx.model, ctx.cfg.subblock_fraction);
     let radius = RadiusDist::uniform(ctx.cfg.radius_options.clone());
     let n = 3_000;
@@ -72,6 +67,7 @@ fn main() {
             f.clone(),
             n_a,
             0x11A + w as u64,
+            &opts,
             &format!("fig11a-w{w}-write"),
         );
         let sr = ssf(
@@ -81,6 +77,7 @@ fn main() {
             f,
             n_a,
             0x11B + w as u64,
+            &opts,
             &format!("fig11a-w{w}-read"),
         );
         raw.push((w, sw, sr));
@@ -149,6 +146,7 @@ fn main() {
             f.clone(),
             n,
             0x11C,
+            &opts,
             &format!("fig11b-{name}-write"),
         );
         let sr = ssf(
@@ -158,6 +156,7 @@ fn main() {
             f,
             n,
             0x11D,
+            &opts,
             &format!("fig11b-{name}-read"),
         );
         base_write.get_or_insert(sw);

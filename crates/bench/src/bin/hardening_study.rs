@@ -17,7 +17,7 @@ use xlmc_bench::{pct, print_table, run_observed_campaign, ExperimentContext};
 
 fn main() {
     let opts = CampaignOptions::from_args();
-    let ctx = ExperimentContext::build();
+    let ctx = ExperimentContext::build_observed(&opts);
     let runner = FaultRunner {
         model: &ctx.model,
         eval: &ctx.write_eval,

@@ -1,0 +1,47 @@
+//! Validate JSON documents against one of the checked-in schemas.
+//!
+//! ```text
+//! validate_json <schema.json> <doc.json> [<doc.json> ...]
+//! ```
+//!
+//! Uses the in-tree validator ([`xlmc::telemetry::validate_against_schema`]),
+//! which supports the subset of JSON Schema the `schemas/` files use.
+//! Exits 0 when every document validates, 1 on the first violation, 2 on
+//! usage or I/O errors. CI runs this over the metrics and trace files the
+//! smoke campaign writes.
+
+use xlmc::telemetry::{validate_against_schema, JsonValue};
+
+fn load(path: &str) -> JsonValue {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    JsonValue::parse(&src).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: validate_json <schema.json> <doc.json> [<doc.json> ...]");
+        std::process::exit(2);
+    }
+    let schema = load(&args[0]);
+    let mut failed = false;
+    for path in &args[1..] {
+        let doc = load(path);
+        match validate_against_schema(&doc, &schema) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

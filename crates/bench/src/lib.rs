@@ -21,6 +21,7 @@ use xlmc::estimator::{run_campaign_observed, CampaignOptions, CampaignResult};
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{ExperimentConfig, SamplingStrategy};
 use xlmc::telemetry::StderrProgress;
+use xlmc::trace::{self, TraceSink};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
 use xlmc_soc::workloads;
 
@@ -55,15 +56,59 @@ impl ExperimentContext {
     ///
     /// See [`ExperimentContext::build`].
     pub fn build_with(cfg: ExperimentConfig) -> Self {
+        Self::build_with_observed(cfg, &CampaignOptions::default())
+    }
+
+    /// [`ExperimentContext::build`], honouring the harness flags: when
+    /// `--trace PATH` is set, the setup and pre-characterization steps are
+    /// spanned and written to `PATH` tagged `prechar` (the campaign trace
+    /// goes to the per-campaign tagged path, see [`run_observed_campaign`]).
+    ///
+    /// # Panics
+    ///
+    /// See [`ExperimentContext::build`].
+    pub fn build_observed(opts: &CampaignOptions) -> Self {
+        Self::build_with_observed(ExperimentConfig::default(), opts)
+    }
+
+    /// [`ExperimentContext::build_with`] + [`ExperimentContext::build_observed`].
+    ///
+    /// # Panics
+    ///
+    /// See [`ExperimentContext::build`].
+    pub fn build_with_observed(cfg: ExperimentConfig, opts: &CampaignOptions) -> Self {
+        let sink = if opts.trace_path.is_some() {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        };
         eprintln!("[setup] building system model and golden runs ...");
-        let model = SystemModel::with_defaults().expect("stock model must build");
-        let write_eval =
-            Evaluation::new(workloads::illegal_write()).expect("write workload golden run");
-        let read_eval =
-            Evaluation::new(workloads::illegal_read()).expect("read workload golden run");
+        let (model, write_eval, read_eval) = {
+            let _span = sink.span("setup", "model+golden");
+            let model = SystemModel::with_defaults().expect("stock model must build");
+            let write_eval =
+                Evaluation::new(workloads::illegal_write()).expect("write workload golden run");
+            let read_eval =
+                Evaluation::new(workloads::illegal_read()).expect("read workload golden run");
+            (model, write_eval, read_eval)
+        };
         eprintln!("[setup] running pre-characterization ...");
-        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        let prechar = Precharacterization::run_traced(&model, cfg.t_max, cfg.max_radius(), &sink);
         eprintln!("[setup] done.");
+        if let Some(path) = &opts.trace_path {
+            let path = tagged_path(path, "prechar");
+            sink.print_self_time("prechar");
+            if let Err(e) = trace::write_trace(
+                &path,
+                &sink,
+                &trace::CampaignCounters::default(),
+                &trace::KernelCounters::default(),
+                &[],
+                &[],
+            ) {
+                eprintln!("[setup] failed to write trace {}: {e}", path.display());
+            }
+        }
         Self {
             model,
             write_eval,
@@ -76,7 +121,7 @@ impl ExperimentContext {
 
 /// Insert `tag` before the path's extension:
 /// `out/m.json` + `fig09-random` → `out/m.fig09-random.json`.
-fn tagged_path(path: &Path, tag: &str) -> PathBuf {
+pub fn tagged_path(path: &Path, tag: &str) -> PathBuf {
     let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
     let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
     path.with_file_name(format!("{stem}.{tag}.{ext}"))
@@ -104,6 +149,9 @@ pub fn run_observed_campaign(
     }
     if let Some(p) = &opts.checkpoint_path {
         opts.checkpoint_path = Some(tagged_path(p, &tag));
+    }
+    if let Some(p) = &opts.trace_path {
+        opts.trace_path = Some(tagged_path(p, &tag));
     }
     let mut progress = StderrProgress::new(tag);
     run_campaign_observed(runner, strategy, n, seed, &opts, &mut progress)

@@ -26,10 +26,11 @@ use xlmc_gatesim::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, CycleVa
 use xlmc_netlist::GateId;
 use xlmc_soc::{MpuBit, Soc};
 
-use crate::estimator::{fold_run, ChunkPartial};
+use crate::estimator::{fold_run, ChunkPartial, RunObs};
 use crate::flow::{Concluded, FaultRunner, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
+use crate::trace::{CounterScratch, KernelCounters, TraceSink};
 
 /// Campaign-wide memo of the per-cycle stable netlist values.
 ///
@@ -91,6 +92,7 @@ struct RunRecord {
     class: StrikeClass,
     analytic: bool,
     bits: Vec<MpuBit>,
+    pulses: usize,
 }
 
 impl RunRecord {
@@ -100,6 +102,7 @@ impl RunRecord {
             class: StrikeClass::Masked,
             analytic: false,
             bits: Vec::new(),
+            pulses: 0,
         }
     }
 }
@@ -148,6 +151,7 @@ impl BatchChunkScratch {
 /// [`run_chunk`](crate::estimator) bit-for-bit: per-run samples, weights,
 /// strike outcomes, hardening draws and the fold order are all identical;
 /// only the transient propagation is shared across lanes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_chunk_batched(
     runner: &FaultRunner<'_>,
     strategy: &dyn SamplingStrategy,
@@ -156,7 +160,12 @@ pub(crate) fn run_chunk_batched(
     end: usize,
     scratch: &mut BatchChunkScratch,
     cycles: &SharedCycleCache,
+    ctr: &mut CounterScratch,
+    record_provenance: bool,
+    sink: &TraceSink,
+    tid: u32,
 ) -> ChunkPartial {
+    ctr.begin_chunk();
     let m = end - start;
     scratch.draws.clear();
     scratch.te.clear();
@@ -166,6 +175,7 @@ pub(crate) fn run_chunk_batched(
     }
 
     // Phase 1: scalar draws, identical to the scalar engine.
+    let draw_span = sink.span_on(tid, "chunk", "draw");
     let golden_cycles = runner.eval.golden.cycles;
     for i in 0..m {
         let mut rng = SplitMix64::for_run(seed, (start + i) as u64);
@@ -183,11 +193,13 @@ pub(crate) fn run_chunk_batched(
                 rec.class = StrikeClass::Masked;
                 rec.analytic = false;
                 rec.bits.clear();
+                rec.pulses = 0;
             }
         }
         scratch.te.push(te);
         scratch.draws.push(RunDraw { sample, w, rng });
     }
+    drop(draw_span);
 
     // Stratify: same-frame runs share batches (fewer value groups per
     // batch), and the `(T_e, index)` key keeps the grouping a pure function
@@ -202,7 +214,9 @@ pub(crate) fn run_chunk_batched(
     // Phase 2 + 3: strike each batch in one packed pass, conclude per lane.
     let period = runner.model.transient.config().clock_period_ps;
     let netlist = runner.model.mpu.netlist();
+    let mut kc = KernelCounters::default();
     for batch in scratch.order.chunks(LANES) {
+        let strike_span = sink.span_on(tid, "chunk", "strike");
         scratch.lane_strikes.clear();
         for &ri in batch {
             scratch.lane_strikes.push_sample(
@@ -238,7 +252,13 @@ pub(crate) fn run_chunk_batched(
             &mut scratch.strike_out,
         );
         drop(lanes);
+        kc.lane_batches += 1;
+        kc.lanes_occupied += batch.len();
+        kc.frame_groups += groups.len();
+        kc.gates_visited += scratch.strike_out.gates_visited();
+        drop(strike_span);
 
+        let _conclude_span = sink.span_on(tid, "chunk", "conclude");
         for (lane, &ri) in batch.iter().enumerate() {
             let ri = ri as usize;
             let te = scratch.te[ri].unwrap();
@@ -265,21 +285,34 @@ pub(crate) fn run_chunk_batched(
             rec.analytic = view.analytic;
             rec.bits.clear();
             rec.bits.extend_from_slice(view.faulty_bits);
+            rec.pulses = scratch.strike_out.pulses_propagated(lane);
         }
     }
 
-    // Fold in run-index order: the Welford push sequence must match the
-    // scalar engine exactly.
-    let mut p = ChunkPartial::default();
+    // Fold in run-index order: the Welford push sequence — and the counter
+    // fold — must match the scalar engine exactly.
+    let _fold_span = sink.span_on(tid, "chunk", "fold");
+    let mut p = ChunkPartial {
+        kernel_counters: kc,
+        ..ChunkPartial::default()
+    };
     for i in 0..m {
         let rec = &scratch.records[i];
         fold_run(
             &mut p,
-            rec.class,
-            rec.analytic,
-            rec.success,
-            scratch.draws[i].w,
-            &rec.bits,
+            ctr,
+            RunObs {
+                run_index: (start + i) as u64,
+                sample: &scratch.draws[i].sample,
+                te: scratch.te[i],
+                pulses: rec.pulses,
+                class: rec.class,
+                analytic: rec.analytic,
+                success: rec.success,
+                w: scratch.draws[i].w,
+                faulty_bits: &rec.bits,
+            },
+            record_provenance,
         );
     }
     p
@@ -364,7 +397,21 @@ mod tests {
                     let n = 200;
                     let cache = SharedCycleCache::new(runner.eval.golden.cycles);
                     let mut bscratch = BatchChunkScratch::default();
-                    run_chunk_batched(&runner, strat.as_ref(), seed, 0, n, &mut bscratch, &cache);
+                    let mut ctr = CounterScratch::default();
+                    let sink = TraceSink::disabled();
+                    run_chunk_batched(
+                        &runner,
+                        strat.as_ref(),
+                        seed,
+                        0,
+                        n,
+                        &mut bscratch,
+                        &cache,
+                        &mut ctr,
+                        false,
+                        &sink,
+                        0,
+                    );
 
                     let mut flow = FlowScratch::default();
                     for i in 0..n {
@@ -405,6 +452,8 @@ mod tests {
         let cache = SharedCycleCache::new(runner.eval.golden.cycles);
         let mut bscratch = BatchChunkScratch::default();
         let mut flow = FlowScratch::default();
+        let mut ctr = CounterScratch::default();
+        let sink = TraceSink::disabled();
         // Also covers partial batches: 1, 63, 64, 65 runs.
         for (start, len) in [(0usize, 1usize), (1, 63), (64, 64), (128, 65), (193, 128)] {
             let b = run_chunk_batched(
@@ -415,6 +464,10 @@ mod tests {
                 start + len,
                 &mut bscratch,
                 &cache,
+                &mut ctr,
+                false,
+                &sink,
+                0,
             );
             let s = crate::estimator::scalar_chunk_for_tests(
                 &runner,
@@ -432,6 +485,9 @@ mod tests {
             assert_eq!(b.rtl_runs, s.rtl_runs, "len {len}");
             assert_eq!(b.successes, s.successes, "len {len}");
             assert_eq!(b.attribution, s.attribution, "len {len}");
+            // The chunk-local counter model is kernel-invariant too.
+            assert_eq!(b.counters, s.counters, "len {len}");
+            assert_eq!(b.first_success, s.first_success, "len {len}");
         }
     }
 }

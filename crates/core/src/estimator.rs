@@ -23,11 +23,16 @@ use crate::telemetry::{
     self, CampaignCheckpoint, CampaignObserver, MetricsMeta, NullObserver, ObserverAction,
     ProgressEvent,
 };
+use crate::trace::{
+    self, CampaignCounters, CounterScratch, KernelCounters, ProvenanceRecord, TraceSink,
+    PROVENANCE_RING_CAP,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
+use xlmc_fault::AttackSample;
 use xlmc_soc::MpuBit;
 
 /// Runs per shard. Fixed — independent of the thread count and of the
@@ -136,6 +141,15 @@ pub struct CampaignResult {
     pub attribution: BTreeMap<MpuBit, f64>,
     /// Why the campaign returned.
     pub stop: StopReason,
+    /// Kernel-invariant hot-path counters (chunk-local memo model; see
+    /// [`crate::trace`]). Identical across kernels and thread counts.
+    pub counters: CampaignCounters,
+    /// Kernel-shape counters (lane occupancy, frame strata, gate visits).
+    /// These legitimately differ between the scalar and batched kernels.
+    pub kernel_counters: KernelCounters,
+    /// Index of the first successful run, `None` when no run succeeded.
+    /// Like every statistic, a pure function of `(seed, n, strategy)`.
+    pub first_success: Option<u64>,
 }
 
 impl CampaignResult {
@@ -206,6 +220,13 @@ pub struct CampaignOptions {
     /// Checkpoint cadence in runs, rounded up to whole chunks
     /// (`--checkpoint-every`).
     pub checkpoint_every_runs: usize,
+    /// Where to write the Chrome trace-event JSON (`--trace`): spans,
+    /// counters and provenance records, openable in Perfetto.
+    pub trace_path: Option<PathBuf>,
+    /// Re-execute this run solo after the campaign (`--replay N`) under
+    /// full span tracing, asserting its verdict matches the campaign's
+    /// provenance record.
+    pub replay: Option<u64>,
 }
 
 impl Default for CampaignOptions {
@@ -219,6 +240,8 @@ impl Default for CampaignOptions {
             metrics_path: None,
             checkpoint_path: None,
             checkpoint_every_runs: DEFAULT_CHECKPOINT_EVERY_RUNS,
+            trace_path: None,
+            replay: None,
         }
     }
 }
@@ -241,11 +264,16 @@ impl CampaignOptions {
     }
 
     /// Parse the engine flags from the process arguments (used by the
-    /// figure binaries); anything unrecognized is left for the caller. An
-    /// invalid value for a recognized flag prints an error and exits with
-    /// status 2.
+    /// figure binaries); anything unrecognized is left for the caller.
+    /// `--help`/`-h` prints the flag table and exits 0; an invalid value
+    /// for a recognized flag prints an error and exits with status 2.
     pub fn from_args() -> Self {
-        match Self::parse_args(std::env::args().skip(1)) {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::usage());
+            std::process::exit(0);
+        }
+        match Self::parse_args(args) {
             Ok(opts) => opts,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -254,11 +282,40 @@ impl CampaignOptions {
         }
     }
 
+    /// The `--help` flag table: every flag the campaign engine owns.
+    pub fn usage() -> String {
+        concat!(
+            "campaign engine flags (shared by every figure/bench binary):\n",
+            "  --threads N            worker threads; 0 = one per core (default 1)\n",
+            "  --kernel scalar|batched\n",
+            "                         per-chunk executor (default batched); results\n",
+            "                         are bit-identical under either\n",
+            "  --target-eps X         stop once the LLN bound at eps X drops to\n",
+            "                         1 - confidence (checked at chunk boundaries)\n",
+            "  --target-confidence C  confidence for --target-eps, in (0, 1)\n",
+            "                         (default 0.95)\n",
+            "  --metrics PATH         write the campaign metrics JSON\n",
+            "                         (xlmc-metrics-v1, schemas/metrics.schema.json)\n",
+            "  --checkpoint PATH      read/write the campaign checkpoint; an\n",
+            "                         existing file resumes the campaign\n",
+            "  --checkpoint-every N   checkpoint cadence in runs, rounded up to\n",
+            "                         whole chunks (default 4096)\n",
+            "  --trace PATH           write Chrome trace-event JSON (spans, hot-path\n",
+            "                         counters, per-run provenance) for Perfetto\n",
+            "  --replay N             after the campaign, re-execute run N solo under\n",
+            "                         tracing and check its verdict against the\n",
+            "                         campaign's provenance record\n",
+            "  --help, -h             print this table and exit\n",
+            "Flags the engine does not own are left for the binary itself.",
+        )
+        .to_owned()
+    }
+
     /// Parse the engine flags — `--threads N`, `--kernel scalar|batched`,
     /// `--target-eps X`, `--target-confidence C`, `--metrics PATH`,
-    /// `--checkpoint PATH`, `--checkpoint-every N` (each also accepting
-    /// the `--flag=value` spelling) — from an argument list, skipping
-    /// flags it does not own.
+    /// `--checkpoint PATH`, `--checkpoint-every N`, `--trace PATH`,
+    /// `--replay N` (each also accepting the `--flag=value` spelling) —
+    /// from an argument list, skipping flags it does not own.
     pub fn parse_args<I>(args: I) -> Result<Self, String>
     where
         I: IntoIterator<Item = String>,
@@ -271,6 +328,8 @@ impl CampaignOptions {
             "--metrics",
             "--checkpoint",
             "--checkpoint-every",
+            "--trace",
+            "--replay",
         ];
         let mut opts = Self::default();
         let mut it = args.into_iter();
@@ -332,6 +391,12 @@ impl CampaignOptions {
                     }
                     opts.checkpoint_every_runs = every;
                 }
+                "--trace" => opts.trace_path = Some(PathBuf::from(value)),
+                "--replay" => {
+                    opts.replay = Some(value.parse().map_err(|_| {
+                        format!("invalid --replay value {value:?}: expected a run index")
+                    })?);
+                }
                 _ => unreachable!("flag list and match arms are in sync"),
             }
         }
@@ -371,49 +436,93 @@ pub(crate) struct ChunkPartial {
     pub(crate) w_sum: f64,
     /// Σw² over the shard's drawn weights.
     pub(crate) w_sq_sum: f64,
+    /// Kernel-invariant hot-path counters for this shard.
+    pub(crate) counters: CampaignCounters,
+    /// Kernel-shape counters for this shard.
+    pub(crate) kernel_counters: KernelCounters,
+    /// First successful run index within this shard.
+    pub(crate) first_success: Option<u64>,
+    /// Per-run provenance, in run-index order (empty unless recording).
+    pub(crate) provenance: Vec<ProvenanceRecord>,
+}
+
+/// Everything `fold_run` needs to know about one executed run.
+pub(crate) struct RunObs<'a> {
+    pub(crate) run_index: u64,
+    pub(crate) sample: &'a AttackSample,
+    pub(crate) te: Option<u64>,
+    pub(crate) pulses: usize,
+    pub(crate) class: StrikeClass,
+    pub(crate) analytic: bool,
+    pub(crate) success: bool,
+    pub(crate) w: f64,
+    pub(crate) faulty_bits: &'a [MpuBit],
 }
 
 /// Fold one run's outcome into a shard partial. Both kernels route every
 /// run through this single accumulator (in run-index order), so the
-/// Welford push sequence — and with it every campaign statistic — cannot
-/// drift between the scalar and batched engines.
+/// Welford push sequence — and with it every campaign statistic and
+/// counter — cannot drift between the scalar and batched engines.
 pub(crate) fn fold_run(
     p: &mut ChunkPartial,
-    class: StrikeClass,
-    analytic: bool,
-    success: bool,
-    w: f64,
-    faulty_bits: &[MpuBit],
+    ctr: &mut CounterScratch,
+    obs: RunObs<'_>,
+    record_provenance: bool,
 ) {
-    match class {
+    match obs.class {
         StrikeClass::Masked => p.class_counts.masked += 1,
         StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
         StrikeClass::Mixed => p.class_counts.mixed += 1,
     }
-    if class != StrikeClass::Masked {
-        if analytic {
+    if obs.class != StrikeClass::Masked {
+        if obs.analytic {
             p.analytic_runs += 1;
         } else {
             p.rtl_runs += 1;
         }
     }
-    p.w_sum += w;
-    p.w_sq_sum += w * w;
-    let x = if success {
+    ctr.record_run(
+        &mut p.counters,
+        obs.te,
+        obs.faulty_bits,
+        obs.analytic,
+        obs.pulses,
+    );
+    p.w_sum += obs.w;
+    p.w_sq_sum += obs.w * obs.w;
+    let x = if obs.success {
         p.successes += 1;
-        for &bit in faulty_bits {
-            *p.attribution.entry(bit).or_insert(0.0) += w;
+        if p.first_success.is_none() {
+            p.first_success = Some(obs.run_index);
         }
-        w
+        for &bit in obs.faulty_bits {
+            *p.attribution.entry(bit).or_insert(0.0) += obs.w;
+        }
+        obs.w
     } else {
         0.0
     };
     p.stats.push(x);
+    if record_provenance {
+        p.provenance.push(ProvenanceRecord {
+            run_index: obs.run_index,
+            t: obs.sample.t,
+            center: obs.sample.center,
+            radius: obs.sample.radius,
+            phase: obs.sample.phase,
+            te: obs.te,
+            weight: obs.w,
+            class: obs.class,
+            success: obs.success,
+            analytic: obs.analytic,
+        });
+    }
 }
 
 /// Execute runs `start..end` of the campaign, one at a time. Each run's
 /// generator comes from `(seed, run_index)` alone, so a shard computes the
 /// same partial on any worker.
+#[allow(clippy::too_many_arguments)]
 fn run_chunk(
     runner: &FaultRunner<'_>,
     strategy: &dyn SamplingStrategy,
@@ -421,20 +530,32 @@ fn run_chunk(
     start: usize,
     end: usize,
     scratch: &mut FlowScratch,
+    ctr: &mut CounterScratch,
+    record_provenance: bool,
 ) -> ChunkPartial {
+    ctr.begin_chunk();
     let mut p = ChunkPartial::default();
     for i in start..end {
         let mut rng = SplitMix64::for_run(seed, i as u64);
         let sample = strategy.draw(&mut rng);
         let w = strategy.weight(&sample);
         let outcome = runner.run_with(&sample, &mut rng, scratch);
+        p.kernel_counters.gates_visited += outcome.gates_visited;
         fold_run(
             &mut p,
-            outcome.class,
-            outcome.analytic,
-            outcome.success,
-            w,
-            outcome.faulty_bits,
+            ctr,
+            RunObs {
+                run_index: i as u64,
+                sample: &sample,
+                te: outcome.injection_cycle,
+                pulses: outcome.pulses_propagated,
+                class: outcome.class,
+                analytic: outcome.analytic,
+                success: outcome.success,
+                w,
+                faulty_bits: outcome.faulty_bits,
+            },
+            record_provenance,
         );
     }
     p
@@ -451,7 +572,8 @@ pub(crate) fn scalar_chunk_for_tests(
     end: usize,
     scratch: &mut FlowScratch,
 ) -> ChunkPartial {
-    run_chunk(runner, strategy, seed, start, end, scratch)
+    let mut ctr = CounterScratch::default();
+    run_chunk(runner, strategy, seed, start, end, scratch, &mut ctr, false)
 }
 
 /// The merged campaign prefix: every statistic folded from chunks
@@ -468,6 +590,9 @@ struct MergeState {
     attribution: BTreeMap<MpuBit, f64>,
     w_sum: f64,
     w_sq_sum: f64,
+    counters: CampaignCounters,
+    kernel_counters: KernelCounters,
+    first_success: Option<u64>,
     /// Running estimate at each merged chunk boundary, undownsampled.
     boundaries: Vec<(usize, f64)>,
     /// Chunks folded so far — also the index of the next chunk to fold.
@@ -486,6 +611,12 @@ impl MergeState {
         }
         self.w_sum += p.w_sum;
         self.w_sq_sum += p.w_sq_sum;
+        self.counters.add(&p.counters);
+        self.kernel_counters.add(&p.kernel_counters);
+        // Chunks fold in order, so the first Some seen is the global first.
+        if self.first_success.is_none() {
+            self.first_success = p.first_success;
+        }
         self.boundaries.push((chunk_end, self.stats.mean()));
         self.merged_chunks += 1;
     }
@@ -525,6 +656,9 @@ impl MergeState {
             rtl_runs: self.rtl_runs,
             successes: self.successes,
             attribution: self.attribution.clone(),
+            counters: self.counters,
+            kernel_counters: self.kernel_counters,
+            first_success: self.first_success,
             boundaries: self.boundaries.clone(),
         }
     }
@@ -539,6 +673,9 @@ impl MergeState {
             attribution: ck.attribution,
             w_sum: ck.w_sum,
             w_sq_sum: ck.w_sq_sum,
+            counters: ck.counters,
+            kernel_counters: ck.kernel_counters,
+            first_success: ck.first_success,
             boundaries: ck.boundaries,
             merged_chunks: ck.merged_chunks,
         }
@@ -573,6 +710,9 @@ impl MergeState {
             rtl_runs: self.rtl_runs,
             attribution: self.attribution,
             stop,
+            counters: self.counters,
+            kernel_counters: self.kernel_counters,
+            first_success: self.first_success,
         }
     }
 }
@@ -708,6 +848,8 @@ pub fn run_campaign_observed(
             target_eps: options.target_eps,
             lln_bound: options.target_eps.map(|eps| state.stats.lln_bound(eps)),
             class_counts: state.class_counts,
+            counters: state.counters,
+            kernel_counters: state.kernel_counters,
             elapsed_s,
             runs_per_sec: if elapsed_s > 0.0 {
                 fresh / elapsed_s
@@ -741,6 +883,20 @@ pub fn run_campaign_observed(
         None
     };
 
+    // Span tracing never feeds the statistics (it only reads the clock),
+    // and provenance is copied *out* of the fold — so neither can change a
+    // result bit. Provenance is recorded whenever the trace file or a
+    // replay needs it.
+    let sink = if options.trace_path.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    let record_provenance = options.trace_path.is_some() || options.replay.is_some();
+    let mut ring: VecDeque<ProvenanceRecord> = VecDeque::new();
+    let mut success_log: Vec<ProvenanceRecord> = Vec::new();
+    let mut replay_capture: Option<ProvenanceRecord> = None;
+
     let mut stop = StopReason::Completed;
     if start_chunk < chunks {
         let threads = options.effective_threads().clamp(1, chunks - start_chunk);
@@ -751,23 +907,57 @@ pub fn run_campaign_observed(
             CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
             CampaignKernel::Scalar => None,
         };
+        let sink = &sink;
         let run_one = |c: usize,
                        flow: &mut FlowScratch,
-                       batch: &mut BatchChunkScratch|
+                       batch: &mut BatchChunkScratch,
+                       ctr: &mut CounterScratch,
+                       tid: u32|
          -> ChunkPartial {
             let (start, end) = chunk_bounds(c);
+            let _span = sink.span_args(tid, "campaign", "chunk", &[("chunk", c as f64)]);
             match &cycle_cache {
-                Some(cache) => run_chunk_batched(runner, strategy, seed, start, end, batch, cache),
-                None => run_chunk(runner, strategy, seed, start, end, flow),
+                Some(cache) => run_chunk_batched(
+                    runner,
+                    strategy,
+                    seed,
+                    start,
+                    end,
+                    batch,
+                    cache,
+                    ctr,
+                    record_provenance,
+                    sink,
+                    tid,
+                ),
+                None => run_chunk(
+                    runner,
+                    strategy,
+                    seed,
+                    start,
+                    end,
+                    flow,
+                    ctr,
+                    record_provenance,
+                ),
             }
         };
 
         if threads <= 1 {
             let mut flow = FlowScratch::default();
             let mut batch = BatchChunkScratch::default();
+            let mut ctr = CounterScratch::default();
             for c in start_chunk..chunks {
-                let p = run_one(c, &mut flow, &mut batch);
+                let mut p = run_one(c, &mut flow, &mut batch, &mut ctr, 0);
+                let prov = std::mem::take(&mut p.provenance);
                 state.fold(p, chunk_bounds(c).1);
+                absorb_provenance(
+                    prov,
+                    options.replay,
+                    &mut ring,
+                    &mut success_log,
+                    &mut replay_capture,
+                );
                 if let Some(reason) = boundary(&state, observer) {
                     stop = reason;
                     break;
@@ -778,14 +968,16 @@ pub fn run_campaign_observed(
             let next = AtomicUsize::new(start_chunk);
             let (tx, rx) = std::sync::mpsc::channel::<(usize, ChunkPartial)>();
             std::thread::scope(|s| {
-                for _ in 0..threads {
+                for w in 0..threads {
                     let tx = tx.clone();
                     let run_one = &run_one;
                     let next = &next;
                     let stop_flag = &stop_flag;
+                    let tid = (w + 1) as u32;
                     s.spawn(move || {
                         let mut flow = FlowScratch::default();
                         let mut batch = BatchChunkScratch::default();
+                        let mut ctr = CounterScratch::default();
                         loop {
                             if stop_flag.load(Ordering::Relaxed) {
                                 break;
@@ -796,7 +988,8 @@ pub fn run_campaign_observed(
                             }
                             // A send fails only when the merger has
                             // stopped and dropped the receiver.
-                            if tx.send((c, run_one(c, &mut flow, &mut batch))).is_err() {
+                            let p = run_one(c, &mut flow, &mut batch, &mut ctr, tid);
+                            if tx.send((c, p)).is_err() {
                                 break;
                             }
                         }
@@ -809,9 +1002,17 @@ pub fn run_campaign_observed(
                 'merge: while state.merged_chunks < chunks {
                     let Ok((c, p)) = rx.recv() else { break };
                     pending.insert(c, p);
-                    while let Some(p) = pending.remove(&state.merged_chunks) {
+                    while let Some(mut p) = pending.remove(&state.merged_chunks) {
                         let end = chunk_bounds(state.merged_chunks).1;
+                        let prov = std::mem::take(&mut p.provenance);
                         state.fold(p, end);
+                        absorb_provenance(
+                            prov,
+                            options.replay,
+                            &mut ring,
+                            &mut success_log,
+                            &mut replay_capture,
+                        );
                         if let Some(reason) = boundary(&state, observer) {
                             stop = reason;
                             stop_flag.store(true, Ordering::Relaxed);
@@ -840,12 +1041,125 @@ pub fn run_campaign_observed(
     };
     let result = state.into_result(strategy.name(), stop, options.trace_points);
     observer.on_finish(&result);
+
+    // Replay before writing the trace so the replay spans land in the file.
+    if let Some(idx) = options.replay {
+        let rec = replay_run(runner, strategy, seed, idx, &sink);
+        eprintln!(
+            "[replay] run {idx}: t={} center={} radius={} phase={} te={:?} w={} class={} \
+             success={} analytic={}",
+            rec.t,
+            rec.center.index(),
+            rec.radius,
+            rec.phase,
+            rec.te,
+            rec.weight,
+            trace::class_str(rec.class),
+            rec.success,
+            rec.analytic,
+        );
+        match &replay_capture {
+            Some(orig) => {
+                assert_eq!(
+                    *orig, rec,
+                    "replay of run {idx} diverged from the campaign's provenance record"
+                );
+                eprintln!("[replay] verdict matches the campaign's record for run {idx}");
+            }
+            None => eprintln!(
+                "[replay] run {idx} was not executed by this campaign invocation \
+                 (n = {}, resumed prefix = {resumed_runs}); nothing to compare",
+                result.n
+            ),
+        }
+    }
+
+    if let Some(path) = &options.trace_path {
+        sink.print_self_time(strategy.name());
+        let ring: Vec<ProvenanceRecord> = ring.into_iter().collect();
+        if let Err(e) = trace::write_trace(
+            path,
+            &sink,
+            &result.counters,
+            &result.kernel_counters,
+            &ring,
+            &success_log,
+        ) {
+            eprintln!("failed to write trace {}: {e}", path.display());
+        }
+    }
+
     if let Some(path) = &options.metrics_path {
         if let Err(e) = telemetry::write_metrics(path, &result, &meta) {
             eprintln!("failed to write metrics {}: {e}", path.display());
         }
     }
     result
+}
+
+/// Absorb one merged chunk's provenance: keep the trailing
+/// [`PROVENANCE_RING_CAP`] records, every success, and the `--replay`
+/// target's record. Called in chunk order, so the ring holds the last runs
+/// of the merged prefix.
+fn absorb_provenance(
+    prov: Vec<ProvenanceRecord>,
+    replay_target: Option<u64>,
+    ring: &mut VecDeque<ProvenanceRecord>,
+    successes: &mut Vec<ProvenanceRecord>,
+    capture: &mut Option<ProvenanceRecord>,
+) {
+    for rec in prov {
+        if replay_target == Some(rec.run_index) {
+            *capture = Some(rec.clone());
+        }
+        if rec.success {
+            successes.push(rec.clone());
+        }
+        ring.push_back(rec);
+        if ring.len() > PROVENANCE_RING_CAP {
+            ring.pop_front();
+        }
+    }
+}
+
+/// Re-derive and re-execute campaign run `run_index` solo: the same
+/// `SplitMix64::for_run(seed, run_index)` stream, a fresh scratch, full
+/// span tracing. Returns the run's provenance record, which must equal the
+/// campaign's (the run is a pure function of `(seed, run_index, strategy)`).
+pub fn replay_run(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    run_index: u64,
+    sink: &TraceSink,
+) -> ProvenanceRecord {
+    let _run = sink.span_args(0, "replay", "replay-run", &[("run", run_index as f64)]);
+    let mut rng = SplitMix64::for_run(seed, run_index);
+    let (sample, w) = {
+        let _draw = sink.span("replay", "draw");
+        let sample = strategy.draw(&mut rng);
+        let w = strategy.weight(&sample);
+        (sample, w)
+    };
+    let mut scratch = FlowScratch::default();
+    let outcome = {
+        let _exec = sink.span("replay", "strike+conclude");
+        runner
+            .run_with(&sample, &mut rng, &mut scratch)
+            .to_outcome()
+    };
+    ProvenanceRecord {
+        run_index,
+        t: sample.t,
+        center: sample.center,
+        radius: sample.radius,
+        phase: sample.phase,
+        te: outcome.injection_cycle,
+        weight: w,
+        class: outcome.class,
+        success: outcome.success,
+        analytic: outcome.analytic,
+    }
 }
 
 #[cfg(test)]
@@ -1075,6 +1389,11 @@ mod tests {
                     ..CampaignOptions::with_kernel(CampaignKernel::Batched)
                 };
                 let batched = run_campaign_with(&r, strat.as_ref(), 500, 17, &opts);
+                // Kernel-shape counters (lane occupancy, batch-wide
+                // worklist visits) legitimately differ between kernels;
+                // everything else must be bit-identical.
+                let mut batched = batched;
+                batched.kernel_counters = scalar.kernel_counters;
                 assert_eq!(
                     scalar,
                     batched,
@@ -1100,7 +1419,7 @@ mod tests {
                 23,
                 &CampaignOptions::with_kernel(CampaignKernel::Scalar),
             );
-            let batched = run_campaign_with(
+            let mut batched = run_campaign_with(
                 &r,
                 &strat,
                 n,
@@ -1109,6 +1428,7 @@ mod tests {
             );
             assert_eq!(scalar.n, n);
             assert_eq!(scalar.class_counts.total(), n, "n = {n}");
+            batched.kernel_counters = scalar.kernel_counters;
             assert_eq!(scalar, batched, "n = {n}");
         }
     }
@@ -1182,6 +1502,39 @@ mod tests {
         assert!(CampaignOptions::parse_args(args(&["--target-eps", "nope"])).is_err());
         assert!(CampaignOptions::parse_args(args(&["--target-confidence", "1.5"])).is_err());
         assert!(CampaignOptions::parse_args(args(&["--checkpoint-every", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_and_replay_args_parse_and_validate() {
+        let opts = CampaignOptions::parse_args(args(&["--trace", "out/trace.json", "--replay=42"]))
+            .unwrap();
+        assert_eq!(
+            opts.trace_path.as_deref(),
+            Some(std::path::Path::new("out/trace.json"))
+        );
+        assert_eq!(opts.replay, Some(42));
+        assert!(CampaignOptions::parse_args(args(&["--replay", "nope"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--replay", "-1"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_value_flag() {
+        let usage = CampaignOptions::usage();
+        for flag in [
+            "--threads",
+            "--kernel",
+            "--target-eps",
+            "--target-confidence",
+            "--metrics",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--trace",
+            "--replay",
+            "--help",
+        ] {
+            assert!(usage.contains(flag), "usage is missing {flag}");
+        }
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct AttackOutcome {
     pub analytic: bool,
     /// The injection cycle `T_e`, when inside the run.
     pub injection_cycle: Option<u64>,
+    /// Combinational gates that carried a propagating pulse (0 for glitch
+    /// attacks and out-of-run samples).
+    pub pulses_propagated: usize,
+    /// Gates popped from the propagation worklist (0 when no strike ran).
+    pub gates_visited: usize,
 }
 
 impl AttackOutcome {
@@ -65,6 +70,8 @@ impl AttackOutcome {
             faulty_bits: Vec::new(),
             analytic: false,
             injection_cycle,
+            pulses_propagated: 0,
+            gates_visited: 0,
         }
     }
 }
@@ -88,6 +95,10 @@ pub struct RunView<'s> {
     pub analytic: bool,
     /// The injection cycle `T_e`, when inside the run.
     pub injection_cycle: Option<u64>,
+    /// Combinational gates that carried a propagating pulse in the strike.
+    pub pulses_propagated: usize,
+    /// Gates popped from the propagation worklist.
+    pub gates_visited: usize,
 }
 
 impl RunView<'_> {
@@ -99,6 +110,8 @@ impl RunView<'_> {
             faulty_bits: self.faulty_bits.to_vec(),
             analytic: self.analytic,
             injection_cycle: self.injection_cycle,
+            pulses_propagated: self.pulses_propagated,
+            gates_visited: self.gates_visited,
         }
     }
 }
@@ -220,6 +233,8 @@ impl FaultRunner<'_> {
                     faulty_bits: &scratch.faulty_bits,
                     analytic: false,
                     injection_cycle: None,
+                    pulses_propagated: 0,
+                    gates_visited: 0,
                 };
             }
         };
@@ -275,7 +290,12 @@ impl FaultRunner<'_> {
         strike_out.faulty_registers_into(faulty_regs);
         faulty_bits.clear();
         faulty_bits.extend(faulty_regs.iter().filter_map(|&d| self.model.mpu.bit_of(d)));
-        self.conclude_with(te, rng, faulty_bits, resume_soc, conclude_memo)
+        let pulses = strike_out.pulses_propagated;
+        let gates = strike_out.gates_visited;
+        let mut view = self.conclude_with(te, rng, faulty_bits, resume_soc, conclude_memo);
+        view.pulses_propagated = pulses;
+        view.gates_visited = gates;
+        view
     }
 
     /// Execute one clock-glitch attack: shorten the capture period of the
@@ -340,6 +360,8 @@ impl FaultRunner<'_> {
                 faulty_bits,
                 analytic: false,
                 injection_cycle: Some(te),
+                pulses_propagated: 0,
+                gates_visited: 0,
             };
         }
 
@@ -351,6 +373,8 @@ impl FaultRunner<'_> {
                 faulty_bits,
                 analytic: c.analytic,
                 injection_cycle: Some(te),
+                pulses_propagated: 0,
+                gates_visited: 0,
             };
         }
 
@@ -389,6 +413,8 @@ impl FaultRunner<'_> {
             faulty_bits,
             analytic,
             injection_cycle: Some(te),
+            pulses_propagated: 0,
+            gates_visited: 0,
         }
     }
 

@@ -75,6 +75,7 @@ pub mod sampling;
 pub mod space;
 pub mod stats;
 pub mod telemetry;
+pub mod trace;
 
 pub use model::{EvalError, Evaluation, SystemModel};
 pub use precharacterize::Precharacterization;

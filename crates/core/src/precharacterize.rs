@@ -15,6 +15,7 @@ use crate::correlation::CorrelationData;
 use crate::lifetime::{default_sample_cycles, RegisterCharacterization, RegisterKind};
 use crate::model::SystemModel;
 use crate::space::SampleSpace;
+use crate::trace::TraceSink;
 use std::collections::{HashMap, HashSet, VecDeque};
 use xlmc_netlist::{CellKind, GateId};
 use xlmc_soc::golden::GoldenRun;
@@ -45,9 +46,18 @@ impl Precharacterization {
     /// `t_max` bounds the timing-distance range; `halo_radius` expands the
     /// spatial sample space around the cones (see [`SampleSpace::build`]).
     pub fn run(model: &SystemModel, t_max: i64, halo_radius: f64) -> Self {
-        let synth = workloads::synthetic_precharacterization();
-        let golden = GoldenRun::record(&synth.program, 20_000, 64);
-        Self::run_with_golden(model, &golden, t_max, halo_radius)
+        Self::run_traced(model, t_max, halo_radius, &TraceSink::disabled())
+    }
+
+    /// [`Self::run`], with each pre-characterization step recorded as a
+    /// span on `sink` (`cat = "prechar"`).
+    pub fn run_traced(model: &SystemModel, t_max: i64, halo_radius: f64, sink: &TraceSink) -> Self {
+        let golden = {
+            let _span = sink.span("prechar", "synthetic-golden");
+            let synth = workloads::synthetic_precharacterization();
+            GoldenRun::record(&synth.program, 20_000, 64)
+        };
+        Self::run_with_golden_traced(model, &golden, t_max, halo_radius, sink)
     }
 
     /// Run the pre-characterization against a caller-provided synthetic
@@ -58,11 +68,33 @@ impl Precharacterization {
         t_max: i64,
         halo_radius: f64,
     ) -> Self {
-        let space = SampleSpace::build(model, t_max, halo_radius);
-        let correlation = CorrelationData::compute(model, synthetic, &space);
-        let registers =
-            RegisterCharacterization::measure(synthetic, &default_sample_cycles(synthetic, 5));
-        let (cell_lifetime, cell_suppress) = derive_cell_characters(model, &space, &registers);
+        Self::run_with_golden_traced(model, synthetic, t_max, halo_radius, &TraceSink::disabled())
+    }
+
+    /// [`Self::run_with_golden`], with each step spanned on `sink`.
+    pub fn run_with_golden_traced(
+        model: &SystemModel,
+        synthetic: &GoldenRun,
+        t_max: i64,
+        halo_radius: f64,
+        sink: &TraceSink,
+    ) -> Self {
+        let space = {
+            let _span = sink.span("prechar", "cones");
+            SampleSpace::build(model, t_max, halo_radius)
+        };
+        let correlation = {
+            let _span = sink.span("prechar", "signatures+correlation");
+            CorrelationData::compute(model, synthetic, &space)
+        };
+        let registers = {
+            let _span = sink.span("prechar", "lifetime");
+            RegisterCharacterization::measure(synthetic, &default_sample_cycles(synthetic, 5))
+        };
+        let (cell_lifetime, cell_suppress) = {
+            let _span = sink.span("prechar", "classification");
+            derive_cell_characters(model, &space, &registers)
+        };
         Self {
             space,
             correlation,

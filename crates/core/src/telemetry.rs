@@ -29,6 +29,7 @@
 
 use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts};
 use crate::stats::RunningStats;
+use crate::trace::{counters_from_json, counters_json, CampaignCounters, KernelCounters};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::io;
@@ -62,6 +63,11 @@ pub struct ProgressEvent {
     pub lln_bound: Option<f64>,
     /// Strike-class split so far.
     pub class_counts: ClassCounts,
+    /// Kernel-invariant hot-path counters so far (chunk-local memo model,
+    /// see [`crate::trace`]).
+    pub counters: CampaignCounters,
+    /// Kernel-shape counters so far (lane occupancy, frame strata).
+    pub kernel_counters: KernelCounters,
     /// Wall-clock seconds since this campaign invocation started
     /// (excludes time spent before a resumed checkpoint was written).
     pub elapsed_s: f64,
@@ -141,8 +147,19 @@ impl CampaignObserver for StderrProgress {
             let bound = ev
                 .lln_bound
                 .map_or(String::new(), |b| format!("  lln={b:.3e}"));
+            let lookups = ev.counters.conclusion_memo_hits + ev.counters.conclusion_memo_misses;
+            let memo = if lookups > 0 {
+                format!("  memo={:.0}%", ev.counters.conclusion_hit_rate() * 100.0)
+            } else {
+                String::new()
+            };
+            let occ = if ev.kernel_counters.lane_batches > 0 {
+                format!("  occ={:.1}", ev.kernel_counters.mean_lane_occupancy())
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[{}] {}/{} runs  ssf={:.5}  s2={:.3e}  ess={:.0}{}  {:.0} runs/s",
+                "[{}] {}/{} runs  ssf={:.5}  s2={:.3e}  ess={:.0}{}{}{}  {:.0} runs/s",
                 self.label,
                 ev.runs_done,
                 ev.total_runs,
@@ -150,6 +167,8 @@ impl CampaignObserver for StderrProgress {
                 ev.sample_variance,
                 ev.ess,
                 bound,
+                memo,
+                occ,
                 ev.runs_per_sec,
             );
         }
@@ -412,7 +431,7 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// A finite `f64` as a round-trippable JSON number, non-finite as `null`.
-fn json_num(x: f64) -> String {
+pub(crate) fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -448,7 +467,7 @@ fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
 // Checkpoints
 // ---------------------------------------------------------------------------
 
-const CHECKPOINT_FORMAT: &str = "xlmc-checkpoint-v1";
+const CHECKPOINT_FORMAT: &str = "xlmc-checkpoint-v2";
 
 fn bit_names() -> &'static HashMap<String, MpuBit> {
     static NAMES: OnceLock<HashMap<String, MpuBit>> = OnceLock::new();
@@ -485,6 +504,9 @@ pub(crate) struct CampaignCheckpoint {
     pub(crate) successes: usize,
     pub(crate) attribution: BTreeMap<MpuBit, f64>,
     pub(crate) boundaries: Vec<(usize, f64)>,
+    pub(crate) counters: CampaignCounters,
+    pub(crate) kernel_counters: KernelCounters,
+    pub(crate) first_success: Option<u64>,
 }
 
 impl CampaignCheckpoint {
@@ -536,7 +558,19 @@ impl CampaignCheckpoint {
             }
             let _ = write!(s, "[{runs}, {}]", bits_str(*mean));
         }
-        s.push_str("]\n}\n");
+        s.push_str("],\n");
+        let _ = writeln!(
+            s,
+            "  \"counters\": {},",
+            counters_json(&self.counters, &self.kernel_counters)
+        );
+        match self.first_success {
+            Some(i) => {
+                let _ = writeln!(s, "  \"first_success\": {i}");
+            }
+            None => s.push_str("  \"first_success\": null\n"),
+        }
+        s.push_str("}\n");
         s
     }
 
@@ -603,6 +637,16 @@ impl CampaignCheckpoint {
             let runs = pair[0].as_u64().ok_or("boundary run count")? as usize;
             boundaries.push((runs, f64_from_bits_str(&pair[1], "boundary mean")?));
         }
+        let (counters, kernel_counters) =
+            counters_from_json(doc.get("counters").ok_or("missing counters object")?)?;
+        let first_success = match doc.get("first_success") {
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("first_success: expected an integer or null")?,
+            ),
+            None => return Err("missing first_success".to_owned()),
+        };
         Ok(Self {
             seed: get_u64(&doc, "seed")?,
             requested_runs: get_u64(&doc, "requested_runs")? as usize,
@@ -626,6 +670,9 @@ impl CampaignCheckpoint {
             successes: get_u64(&doc, "successes")? as usize,
             attribution,
             boundaries,
+            counters,
+            kernel_counters,
+            first_success,
         })
     }
 
@@ -719,6 +766,18 @@ pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
     let _ = writeln!(s, "  \"analytic_runs\": {},", result.analytic_runs);
     let _ = writeln!(s, "  \"rtl_runs\": {},", result.rtl_runs);
     let _ = writeln!(s, "  \"successes\": {},", result.successes);
+    let _ = writeln!(
+        s,
+        "  \"first_success\": {},",
+        result
+            .first_success
+            .map_or("null".to_owned(), |i| i.to_string())
+    );
+    let _ = writeln!(
+        s,
+        "  \"counters\": {},",
+        counters_json(&result.counters, &result.kernel_counters)
+    );
     s.push_str("  \"trace\": [");
     for (i, (runs, ssf)) in result.trace.iter().enumerate() {
         if i > 0 {
@@ -827,6 +886,25 @@ mod tests {
             successes: 5,
             attribution,
             boundaries: vec![(512, 0.001953125), (1024, 0.1 / 3.0), (1536, 0.25)],
+            counters: CampaignCounters {
+                cycle_memo_hits: 12,
+                cycle_memo_misses: 34,
+                conclusion_memo_hits: 5,
+                conclusion_memo_misses: 6,
+                conclusions_analytic: 20,
+                conclusions_rtl: 7,
+                soc_clones: 3,
+                soc_restores: 4,
+                pulses_propagated: 9000,
+                out_of_run: 2,
+            },
+            kernel_counters: KernelCounters {
+                lane_batches: 24,
+                lanes_occupied: 1500,
+                frame_groups: 70,
+                gates_visited: 123456,
+            },
+            first_success: Some(777),
         };
         let round = CampaignCheckpoint::from_json(&ck.to_json()).unwrap();
         assert_eq!(round, ck);
@@ -890,6 +968,9 @@ mod tests {
             rtl_runs: 24,
             attribution: BTreeMap::new(),
             stop: StopReason::TargetEps,
+            counters: CampaignCounters::default(),
+            kernel_counters: KernelCounters::default(),
+            first_success: Some(40),
         };
         let meta = MetricsMeta {
             seed: 7,
@@ -910,6 +991,11 @@ mod tests {
             Some("target_eps")
         );
         assert_eq!(doc.get("ess").and_then(JsonValue::as_f64), Some(1020.5));
+        assert_eq!(
+            doc.get("first_success").and_then(JsonValue::as_u64),
+            Some(40)
+        );
+        assert!(doc.get("counters").and_then(|c| c.get("kernel")).is_some());
         let trace = doc.get("trace").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[1].as_arr().unwrap()[0].as_u64(), Some(1024));
@@ -957,6 +1043,8 @@ mod tests {
             target_eps: None,
             lln_bound: None,
             class_counts: ClassCounts::default(),
+            counters: CampaignCounters::default(),
+            kernel_counters: KernelCounters::default(),
             elapsed_s: 0.5,
             runs_per_sec: 1024.0,
         };

@@ -67,6 +67,7 @@ pub struct BatchStrikeOutcome {
     latched: Vec<Vec<GateId>>,
     upset: Vec<Vec<GateId>>,
     pulses: [usize; LANES],
+    gates_visited: usize,
 }
 
 impl Default for BatchStrikeOutcome {
@@ -75,6 +76,7 @@ impl Default for BatchStrikeOutcome {
             latched: (0..LANES).map(|_| Vec::new()).collect(),
             upset: (0..LANES).map(|_| Vec::new()).collect(),
             pulses: [0; LANES],
+            gates_visited: 0,
         }
     }
 }
@@ -95,6 +97,12 @@ impl BatchStrikeOutcome {
         self.pulses[lane]
     }
 
+    /// Gates popped from the shared propagation worklist for the whole
+    /// batch (a gate serving many lanes is visited once).
+    pub fn gates_visited(&self) -> usize {
+        self.gates_visited
+    }
+
     /// Lane `l`'s registers in error (deduplicated, sorted), identical to
     /// [`StrikeOutcome::faulty_registers_into`].
     pub fn faulty_registers_into(&self, lane: usize, out: &mut Vec<GateId>) {
@@ -105,12 +113,14 @@ impl BatchStrikeOutcome {
         out.dedup();
     }
 
-    /// Copy lane `l` into a scalar [`StrikeOutcome`].
+    /// Copy lane `l` into a scalar [`StrikeOutcome`]. The worklist visit
+    /// count is batch-wide, not per lane, so it is reported as 0 here.
     pub fn lane_outcome(&self, lane: usize) -> StrikeOutcome {
         StrikeOutcome {
             latched_dffs: self.latched[lane].clone(),
             upset_dffs: self.upset[lane].clone(),
             pulses_propagated: self.pulses[lane],
+            gates_visited: 0,
         }
     }
 
@@ -120,6 +130,7 @@ impl BatchStrikeOutcome {
             self.upset[l].clear();
         }
         self.pulses = [0; LANES];
+        self.gates_visited = 0;
     }
 }
 
@@ -237,6 +248,7 @@ impl TransientSim {
         }
         let cfg = *self.config();
         while let Some(Reverse((_, id))) = scratch.queue.pop() {
+            outcome.gates_visited += 1;
             let existing = scratch.pulse_lanes[id.index()];
             let gate = netlist.gate(id);
             let mut any = 0u64;

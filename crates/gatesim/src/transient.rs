@@ -72,6 +72,9 @@ pub struct StrikeOutcome {
     pub upset_dffs: Vec<GateId>,
     /// Number of combinational gates that carried a propagating pulse.
     pub pulses_propagated: usize,
+    /// Number of gates popped from the propagation worklist (visited,
+    /// whether or not a pulse survived the masking checks).
+    pub gates_visited: usize,
 }
 
 impl StrikeOutcome {
@@ -248,6 +251,7 @@ impl TransientSim {
         outcome.latched_dffs.clear();
         outcome.upset_dffs.clear();
         outcome.pulses_propagated = 0;
+        outcome.gates_visited = 0;
 
         let n = netlist.len();
         if scratch.pulses.len() < n {
@@ -288,6 +292,7 @@ impl TransientSim {
             );
         }
         while let Some(Reverse((_, id))) = scratch.queue.pop() {
+            outcome.gates_visited += 1;
             if scratch.pulses[id.index()].is_some() {
                 continue;
             }

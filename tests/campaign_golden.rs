@@ -82,6 +82,25 @@ fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
             r.sample_variance.to_bits(),
         );
     }
+    // Tracing must be a pure observer: the same campaign run with span
+    // recording and provenance capture enabled reproduces the golden bits.
+    let dir = std::env::temp_dir().join(format!(
+        "xlmc-golden-trace-{}-{}",
+        std::process::id(),
+        strategy.name()
+    ));
+    let opts = CampaignOptions {
+        trace_path: Some(dir.join("trace.json")),
+        ..CampaignOptions::with_kernel(CampaignKernel::Batched)
+    };
+    let r = run_campaign_with(&runner, strategy, RUNS, SEED, &opts);
+    assert_eq!(
+        (r.ssf.to_bits(), r.sample_variance.to_bits()),
+        (golden_ssf, golden_var),
+        "{} (traced): tracing changed the campaign result",
+        strategy.name(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -256,8 +256,13 @@ fn target_eps_stop_is_deterministic_across_threads_and_kernels() {
     }
     let (ref first_tag, ref first) = results[0];
     for (tag, res) in &results[1..] {
+        // Kernel-shape counters (lane occupancy, batch-wide worklist
+        // visits) legitimately differ between kernels; everything else —
+        // including the kernel-invariant hot-path counters — must match.
+        let mut res = res.clone();
+        res.kernel_counters = first.kernel_counters;
         assert_eq!(
-            res, first,
+            &res, first,
             "early stop diverged between {first_tag} and {tag}"
         );
     }

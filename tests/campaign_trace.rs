@@ -1,0 +1,245 @@
+//! Tracing, hot-path counters, and provenance/replay contracts.
+//!
+//! The trace subsystem promises three things. First, it is a **pure
+//! observer**: a campaign run with span recording, counters and provenance
+//! capture enabled returns the bit-identical `CampaignResult` of an
+//! untraced run. Second, the hot-path counters are **schedule-invariant**:
+//! defined chunk-locally, their totals are a pure function of
+//! `(seed, n, strategy)` — identical between the scalar and batched kernels
+//! and at any thread count (only the kernel-shape counters differ by
+//! kernel). Third, provenance **replays**: any recorded run, re-derived
+//! solo from `SplitMix64::for_run(seed, i)`, reproduces the campaign's
+//! verdict for that run.
+//!
+//! The trace file written along the way is validated against the
+//! checked-in `schemas/trace.schema.json`.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use xlmc::estimator::{replay_run, run_campaign_with, CampaignKernel, CampaignOptions};
+use xlmc::flow::FaultRunner;
+use xlmc::sampling::{baseline_distribution, ExperimentConfig, RandomSampling};
+use xlmc::telemetry::{validate_against_schema, JsonValue};
+use xlmc::trace::TraceSink;
+use xlmc::{Evaluation, Precharacterization, SystemModel};
+use xlmc_soc::workloads;
+
+const SEED: u64 = 0x7247;
+const RUNS: usize = 1_024; // two full chunks
+
+struct Fixture {
+    model: SystemModel,
+    write_eval: Evaluation,
+    prechar: Precharacterization,
+    cfg: ExperimentConfig,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let model = SystemModel::with_defaults().unwrap();
+        let write_eval = Evaluation::new(workloads::illegal_write()).unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 16,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        Fixture {
+            model,
+            write_eval,
+            prechar,
+            cfg,
+        }
+    })
+}
+
+fn runner(f: &Fixture) -> FaultRunner<'_> {
+    FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xlmc-trace-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn warm_campaign_hits_both_memo_layers() {
+    // Over two chunks of a t_max = 16 campaign, the per-chunk cycle-value
+    // memo and conclusion memo must both see repeats: the timing window is
+    // far smaller than the chunk, so T_e values and (T_e, error-pattern)
+    // pairs recur within a chunk by pigeonhole.
+    let f = fixture();
+    let r = runner(f);
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    let res = run_campaign_with(&r, &strategy, RUNS, SEED, &CampaignOptions::default());
+    assert!(
+        res.counters.cycle_memo_hits > 0,
+        "no cycle-value memo hits: {:?}",
+        res.counters
+    );
+    assert!(
+        res.counters.conclusion_memo_hits > 0,
+        "no conclusion memo hits: {:?}",
+        res.counters
+    );
+    // Internal consistency: every non-out-of-run run does one cycle-memo
+    // lookup; every concluded pattern is analytic or RTL.
+    assert_eq!(
+        res.counters.cycle_memo_hits + res.counters.cycle_memo_misses + res.counters.out_of_run,
+        RUNS
+    );
+    assert_eq!(
+        res.counters.conclusions_analytic + res.counters.conclusions_rtl,
+        res.counters.conclusion_memo_misses
+    );
+}
+
+#[test]
+fn counter_totals_are_kernel_and_thread_invariant() {
+    let f = fixture();
+    let r = runner(f);
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    let mut results = Vec::new();
+    for kernel in [CampaignKernel::Scalar, CampaignKernel::Batched] {
+        for threads in [1usize, 4] {
+            let opts = CampaignOptions {
+                threads,
+                ..CampaignOptions::with_kernel(kernel)
+            };
+            let res = run_campaign_with(&r, &strategy, RUNS, SEED, &opts);
+            results.push((format!("{kernel:?} t{threads}"), res));
+        }
+    }
+    let (ref first_tag, ref first) = results[0];
+    for (tag, res) in &results[1..] {
+        assert_eq!(
+            res.counters, first.counters,
+            "hot-path counters diverged between {first_tag} and {tag}"
+        );
+        assert_eq!(
+            res.first_success, first.first_success,
+            "first_success diverged between {first_tag} and {tag}"
+        );
+    }
+    // The kernel-shape counters DO describe the batched kernel: a full
+    // batched campaign packs lanes and groups frames.
+    let batched = &results.last().unwrap().1;
+    assert!(batched.kernel_counters.lane_batches > 0);
+    // Every run that lands inside the benchmark occupies a lane.
+    assert_eq!(
+        batched.kernel_counters.lanes_occupied + batched.counters.out_of_run,
+        RUNS
+    );
+    assert!(batched.kernel_counters.frame_groups >= batched.kernel_counters.lane_batches);
+    assert!(batched.kernel_counters.mean_lane_occupancy() > 1.0);
+}
+
+#[test]
+fn tracing_is_a_pure_observer_and_the_file_validates() {
+    let f = fixture();
+    let r = runner(f);
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    let untraced = run_campaign_with(&r, &strategy, RUNS, SEED, &CampaignOptions::default());
+
+    let trace_path = scratch("observer.json");
+    let _ = std::fs::remove_file(&trace_path);
+    let opts = CampaignOptions {
+        trace_path: Some(trace_path.clone()),
+        threads: 4,
+        ..CampaignOptions::default()
+    };
+    let traced = run_campaign_with(&r, &strategy, RUNS, SEED, &opts);
+    assert_eq!(traced, untraced, "tracing changed the campaign result");
+
+    // The written document validates against the checked-in schema and
+    // carries every section.
+    let schema_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/trace.schema.json");
+    let schema = JsonValue::parse(&std::fs::read_to_string(&schema_path).expect("read schema"))
+        .expect("schema parses");
+    let doc = JsonValue::parse(&std::fs::read_to_string(&trace_path).expect("read trace"))
+        .expect("trace parses");
+    validate_against_schema(&doc, &schema).expect("trace matches schema");
+
+    let events = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+    // One chunk span per chunk, plus the per-batch phase spans inside.
+    let chunk_spans = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("chunk"))
+        .count();
+    assert_eq!(chunk_spans, RUNS / 512);
+    for phase in ["draw", "strike", "conclude", "fold"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(JsonValue::as_str) == Some(phase)),
+            "no {phase:?} span in the trace"
+        );
+    }
+
+    // Provenance: the ring holds the tail of the campaign and the success
+    // log matches the result's success count.
+    let ring = doc
+        .get("provenance")
+        .and_then(|p| p.get("ring"))
+        .and_then(JsonValue::as_arr)
+        .unwrap();
+    assert!(!ring.is_empty());
+    let last = ring.last().unwrap();
+    assert_eq!(
+        last.get("run_index").and_then(JsonValue::as_u64),
+        Some(RUNS as u64 - 1)
+    );
+    let successes = doc
+        .get("provenance")
+        .and_then(|p| p.get("successes"))
+        .and_then(JsonValue::as_arr)
+        .unwrap();
+    assert_eq!(successes.len(), traced.successes);
+
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn recorded_runs_replay_to_the_same_verdict() {
+    let f = fixture();
+    let r = runner(f);
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    let res = run_campaign_with(&r, &strategy, RUNS, SEED, &CampaignOptions::default());
+    let first = res
+        .first_success
+        .expect("a 1k-run campaign at this seed has at least one success");
+    // The first success and an arbitrary mid-campaign run both re-derive
+    // solo to self-consistent records.
+    let rec = replay_run(&r, &strategy, SEED, first, &TraceSink::disabled());
+    assert_eq!(rec.run_index, first);
+    assert!(rec.success, "replay of the first success did not succeed");
+    let mid = replay_run(&r, &strategy, SEED, RUNS as u64 / 2, &TraceSink::disabled());
+    assert_eq!(mid.run_index, RUNS as u64 / 2);
+    // Replaying is deterministic: doing it twice gives identical records.
+    let again = replay_run(&r, &strategy, SEED, first, &TraceSink::disabled());
+    assert_eq!(rec, again);
+}
+
+#[test]
+fn replay_flag_cross_checks_the_campaign_record() {
+    // End-to-end `--replay` path: run a traced campaign with
+    // `replay = Some(i)`; the engine asserts internally that the solo
+    // re-execution matches the provenance record, so reaching the result
+    // is the pass condition.
+    let f = fixture();
+    let r = runner(f);
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    let probe = run_campaign_with(&r, &strategy, RUNS, SEED, &CampaignOptions::default());
+    let target = probe.first_success.expect("campaign has a success");
+    let opts = CampaignOptions {
+        replay: Some(target),
+        ..CampaignOptions::default()
+    };
+    let res = run_campaign_with(&r, &strategy, RUNS, SEED, &opts);
+    assert_eq!(res, probe, "replay changed the campaign result");
+}
