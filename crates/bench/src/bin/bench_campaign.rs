@@ -6,19 +6,24 @@
 //! fresh strike buffers, cloned checkpoint on every RTL resume). The
 //! `scalar_threads_1` row is the sharded engine with the one-run-at-a-time
 //! kernel; the `engine_threads_N` rows are the default 64-lane batched
-//! kernel at 1, 2 and 4 worker threads — same number of runs, same flow,
-//! per-run `SplitMix64` streams, bit-identical results across every row
-//! but the baseline (whose RNG scheme predates per-run streams).
+//! kernel at 1, 2 and 4 worker threads; `engine_threads_1_noff` repeats
+//! the single-thread batched row with the RTL fast-forward layer disabled
+//! (`--fast-forward off`) to isolate its contribution — same number of
+//! runs, same flow, per-run `SplitMix64` streams, bit-identical results
+//! across every row but the baseline (whose RNG scheme predates per-run
+//! streams).
 //!
 //! Results land in `BENCH_campaign.json` in the working directory, one
 //! object per configuration with runs/sec and the speedup over the
 //! baseline.
 //!
 //! `--smoke` runs a reduced campaign and **fails** (exit 1) if the batched
-//! kernel's single-thread throughput drops below the scalar kernel's — the
-//! CI regression gate for the lane-packing fast path. With `--trace` the
-//! gate is reported but not enforced: span recording adds per-batch
-//! overhead only the batched kernel pays, so the comparison is unfair.
+//! kernel's single-thread throughput drops below the scalar kernel's, or
+//! if the fast-forwarding row falls behind its fast-forward-off twin — the
+//! CI regression gates for the lane-packing fast path and the RTL
+//! fast-forward layer. With `--trace` the kernel gate is reported but not
+//! enforced: span recording adds per-batch overhead only the batched
+//! kernel pays, so the comparison is unfair.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -158,10 +163,29 @@ fn main() {
             &base_opts,
         ));
     }
+    // The fast-forward ablation: same engine, same kernel, checkpoint
+    // cache + early exit + shared memo disabled.
+    let noff_opts = CampaignOptions {
+        fast_forward: false,
+        ..base_opts.clone()
+    };
+    rows.push(engine(
+        &runner,
+        &strategy,
+        runs,
+        1,
+        CampaignKernel::Batched,
+        "engine_threads_1_noff".into(),
+        &noff_opts,
+    ));
 
     let base_rate = rows[0].runs_per_sec;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut json = String::from("{\n  \"runs\": ");
-    let _ = write!(json, "{runs},\n  \"seed\": {SEED},\n  \"configs\": [\n");
+    let _ = write!(
+        json,
+        "{runs},\n  \"seed\": {SEED},\n  \"host_cpus\": {host_cpus},\n  \"configs\": [\n"
+    );
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
@@ -200,11 +224,21 @@ fn main() {
         .iter()
         .find(|r| r.label == "engine_threads_1")
         .expect("batched row");
+    let noff = rows
+        .iter()
+        .find(|r| r.label == "engine_threads_1_noff")
+        .expect("fast-forward-off row");
     assert!(
         scalar.ssf == batched.ssf,
         "kernel results diverged: scalar ssf {} != batched ssf {}",
         scalar.ssf,
         batched.ssf
+    );
+    assert!(
+        batched.ssf == noff.ssf,
+        "fast-forward changed the result: ssf {} != {} with it off",
+        batched.ssf,
+        noff.ssf
     );
     if smoke {
         // The throughput gate only means something untraced: span recording
@@ -223,10 +257,23 @@ fn main() {
                 batched.runs_per_sec, scalar.runs_per_sec
             );
             std::process::exit(1);
+        } else if batched.runs_per_sec < 0.9 * noff.runs_per_sec {
+            // A 10% allowance: at smoke scale the campaign finishes in tens
+            // of milliseconds, and on a shared 1-CPU runner (see host_cpus
+            // in the artifact) run-to-run noise exceeds the fast-forward
+            // delta. The gate catches a real regression — fast-forward
+            // systematically behind its ablation — not scheduler jitter.
+            eprintln!(
+                "SMOKE FAIL: fast-forward made the engine slower ({:.0} runs/s \
+                 vs {:.0} runs/s with it off)",
+                batched.runs_per_sec, noff.runs_per_sec
+            );
+            std::process::exit(1);
         } else {
             println!(
-                "smoke ok: batched {:.0} runs/s >= scalar {:.0} runs/s",
-                batched.runs_per_sec, scalar.runs_per_sec
+                "smoke ok: batched {:.0} runs/s >= scalar {:.0} runs/s, \
+                 fast-forward {:.0} runs/s >= {:.0} runs/s without it",
+                batched.runs_per_sec, scalar.runs_per_sec, batched.runs_per_sec, noff.runs_per_sec
             );
         }
     } else {

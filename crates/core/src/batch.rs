@@ -18,16 +18,16 @@
 //!    bit-identical to the scalar engine's at any thread count and any
 //!    lane assignment.
 
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use xlmc_fault::{AttackSample, LaneStrikes};
 use xlmc_gatesim::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, CycleValues, LANES};
 use xlmc_netlist::GateId;
-use xlmc_soc::{MpuBit, Soc};
+use xlmc_soc::MpuBit;
 
 use crate::estimator::{fold_run, ChunkPartial, RunObs};
-use crate::flow::{Concluded, FaultRunner, StrikeClass};
+use crate::fastforward::{FastForwardStats, RtlFastForward, SharedConclusionMemo};
+use crate::flow::{FaultRunner, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::trace::{CounterScratch, KernelCounters, TraceSink};
@@ -108,9 +108,8 @@ impl RunRecord {
 }
 
 /// Reusable per-worker buffers for [`run_chunk_batched`]. Like
-/// [`FlowScratch`](crate::flow::FlowScratch), the conclusion memo and
-/// resume system are valid against one `(model, evaluation, prechar)`
-/// triple only.
+/// [`FlowScratch`](crate::flow::FlowScratch), the RTL fast-forward state is
+/// valid against one `(model, evaluation, prechar)` triple only.
 #[derive(Default)]
 pub(crate) struct BatchChunkScratch {
     draws: Vec<RunDraw>,
@@ -123,8 +122,20 @@ pub(crate) struct BatchChunkScratch {
     faulty_regs: Vec<GateId>,
     faulty_bits: Vec<MpuBit>,
     records: Vec<RunRecord>,
-    resume_soc: Option<Soc>,
-    conclude_memo: HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
+    ff: RtlFastForward,
+}
+
+impl BatchChunkScratch {
+    /// Enable or disable the RTL fast-forward accelerations for this
+    /// worker's resumes.
+    pub(crate) fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff.set_enabled(enabled);
+    }
+
+    /// The fast-forward counters accumulated by chunks on this scratch.
+    pub(crate) fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff.stats()
+    }
 }
 
 impl std::fmt::Debug for BatchChunkScratch {
@@ -160,6 +171,7 @@ pub(crate) fn run_chunk_batched(
     end: usize,
     scratch: &mut BatchChunkScratch,
     cycles: &SharedCycleCache,
+    memo: &SharedConclusionMemo,
     ctr: &mut CounterScratch,
     record_provenance: bool,
     sink: &TraceSink,
@@ -276,8 +288,8 @@ pub(crate) fn run_chunk_batched(
                 te,
                 &mut scratch.draws[ri].rng,
                 &mut scratch.faulty_bits,
-                &mut scratch.resume_soc,
-                &mut scratch.conclude_memo,
+                &mut scratch.ff,
+                memo,
             );
             let rec = &mut scratch.records[ri];
             rec.success = view.success;
@@ -396,6 +408,7 @@ mod tests {
                 for seed in [3u64, 77] {
                     let n = 200;
                     let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+                    let memo = SharedConclusionMemo::default();
                     let mut bscratch = BatchChunkScratch::default();
                     let mut ctr = CounterScratch::default();
                     let sink = TraceSink::disabled();
@@ -407,6 +420,7 @@ mod tests {
                         n,
                         &mut bscratch,
                         &cache,
+                        &memo,
                         &mut ctr,
                         false,
                         &sink,
@@ -450,6 +464,7 @@ mod tests {
         };
         let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
         let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+        let memo = SharedConclusionMemo::default();
         let mut bscratch = BatchChunkScratch::default();
         let mut flow = FlowScratch::default();
         let mut ctr = CounterScratch::default();
@@ -464,6 +479,7 @@ mod tests {
                 start + len,
                 &mut bscratch,
                 &cache,
+                &memo,
                 &mut ctr,
                 false,
                 &sink,

@@ -15,6 +15,7 @@
 //! the thread count or kernel.
 
 use crate::batch::{run_chunk_batched, BatchChunkScratch, SharedCycleCache};
+use crate::fastforward::{FastForwardStats, SharedConclusionMemo};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
@@ -31,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use xlmc_fault::AttackSample;
 use xlmc_soc::MpuBit;
@@ -227,6 +229,10 @@ pub struct CampaignOptions {
     /// full span tracing, asserting its verdict matches the campaign's
     /// provenance record.
     pub replay: Option<u64>,
+    /// RTL fast-forward accelerations — exact-cycle snapshot cache and
+    /// golden-reconvergence early exit (`--fast-forward on|off`). A pure
+    /// scheduling choice: results are bit-identical either way.
+    pub fast_forward: bool,
 }
 
 impl Default for CampaignOptions {
@@ -242,6 +248,7 @@ impl Default for CampaignOptions {
             checkpoint_every_runs: DEFAULT_CHECKPOINT_EVERY_RUNS,
             trace_path: None,
             replay: None,
+            fast_forward: true,
         }
     }
 }
@@ -286,7 +293,8 @@ impl CampaignOptions {
     pub fn usage() -> String {
         concat!(
             "campaign engine flags (shared by every figure/bench binary):\n",
-            "  --threads N            worker threads; 0 = one per core (default 1)\n",
+            "  --threads N|auto       worker threads; 0 or \"auto\" = one per core\n",
+            "                         (default 1)\n",
             "  --kernel scalar|batched\n",
             "                         per-chunk executor (default batched); results\n",
             "                         are bit-identical under either\n",
@@ -295,7 +303,10 @@ impl CampaignOptions {
             "  --target-confidence C  confidence for --target-eps, in (0, 1)\n",
             "                         (default 0.95)\n",
             "  --metrics PATH         write the campaign metrics JSON\n",
-            "                         (xlmc-metrics-v1, schemas/metrics.schema.json)\n",
+            "                         (xlmc-metrics-v2, schemas/metrics.schema.json)\n",
+            "  --fast-forward on|off  RTL fast-forward (exact-cycle snapshot cache +\n",
+            "                         golden-reconvergence early exit); results are\n",
+            "                         bit-identical either way (default on)\n",
             "  --checkpoint PATH      read/write the campaign checkpoint; an\n",
             "                         existing file resumes the campaign\n",
             "  --checkpoint-every N   checkpoint cadence in runs, rounded up to\n",
@@ -311,11 +322,12 @@ impl CampaignOptions {
         .to_owned()
     }
 
-    /// Parse the engine flags — `--threads N`, `--kernel scalar|batched`,
-    /// `--target-eps X`, `--target-confidence C`, `--metrics PATH`,
-    /// `--checkpoint PATH`, `--checkpoint-every N`, `--trace PATH`,
-    /// `--replay N` (each also accepting the `--flag=value` spelling) —
-    /// from an argument list, skipping flags it does not own.
+    /// Parse the engine flags — `--threads N|auto`, `--kernel
+    /// scalar|batched`, `--target-eps X`, `--target-confidence C`,
+    /// `--metrics PATH`, `--checkpoint PATH`, `--checkpoint-every N`,
+    /// `--trace PATH`, `--replay N`, `--fast-forward on|off` (each also
+    /// accepting the `--flag=value` spelling) — from an argument list,
+    /// skipping flags it does not own.
     pub fn parse_args<I>(args: I) -> Result<Self, String>
     where
         I: IntoIterator<Item = String>,
@@ -330,6 +342,7 @@ impl CampaignOptions {
             "--checkpoint-every",
             "--trace",
             "--replay",
+            "--fast-forward",
         ];
         let mut opts = Self::default();
         let mut it = args.into_iter();
@@ -347,11 +360,16 @@ impl CampaignOptions {
                 .ok_or_else(|| format!("{flag} requires a value"))?;
             match flag.as_str() {
                 "--threads" => {
-                    opts.threads = value.parse().map_err(|_| {
-                        format!(
-                            "invalid --threads value {value:?}: expected a non-negative integer"
-                        )
-                    })?;
+                    opts.threads = if value == "auto" {
+                        0
+                    } else {
+                        value.parse().map_err(|_| {
+                            format!(
+                                "invalid --threads value {value:?}: expected a non-negative \
+                                 integer or \"auto\""
+                            )
+                        })?
+                    };
                 }
                 "--kernel" => opts.set_kernel_arg(&value),
                 "--target-eps" => {
@@ -396,6 +414,18 @@ impl CampaignOptions {
                     opts.replay = Some(value.parse().map_err(|_| {
                         format!("invalid --replay value {value:?}: expected a run index")
                     })?);
+                }
+                "--fast-forward" => {
+                    opts.fast_forward = match value.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        _ => {
+                            return Err(format!(
+                                "invalid --fast-forward value {value:?}: expected \"on\" or \
+                                 \"off\""
+                            ))
+                        }
+                    };
                 }
                 _ => unreachable!("flag list and match arms are in sync"),
             }
@@ -530,6 +560,7 @@ fn run_chunk(
     start: usize,
     end: usize,
     scratch: &mut FlowScratch,
+    memo: &SharedConclusionMemo,
     ctr: &mut CounterScratch,
     record_provenance: bool,
 ) -> ChunkPartial {
@@ -539,7 +570,7 @@ fn run_chunk(
         let mut rng = SplitMix64::for_run(seed, i as u64);
         let sample = strategy.draw(&mut rng);
         let w = strategy.weight(&sample);
-        let outcome = runner.run_with(&sample, &mut rng, scratch);
+        let outcome = runner.run_shared(&sample, &mut rng, scratch, Some(memo));
         p.kernel_counters.gates_visited += outcome.gates_visited;
         fold_run(
             &mut p,
@@ -573,7 +604,10 @@ pub(crate) fn scalar_chunk_for_tests(
     scratch: &mut FlowScratch,
 ) -> ChunkPartial {
     let mut ctr = CounterScratch::default();
-    run_chunk(runner, strategy, seed, start, end, scratch, &mut ctr, false)
+    let memo = SharedConclusionMemo::default();
+    run_chunk(
+        runner, strategy, seed, start, end, scratch, &memo, &mut ctr, false,
+    )
 }
 
 /// The merged campaign prefix: every statistic folded from chunks
@@ -898,6 +932,9 @@ pub fn run_campaign_observed(
     let mut replay_capture: Option<ProvenanceRecord> = None;
 
     let mut stop = StopReason::Completed;
+    // Schedule-dependent fast-forward counters, folded in from every worker
+    // scratch at thread exit; they surface in the metrics JSON only.
+    let ff_total = Mutex::new(FastForwardStats::default());
     if start_chunk < chunks {
         let threads = options.effective_threads().clamp(1, chunks - start_chunk);
         // Workers of the batched kernel share one lazily-filled cycle-value
@@ -907,6 +944,13 @@ pub fn run_campaign_observed(
             CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
             CampaignKernel::Scalar => None,
         };
+        // All workers share one conclusion memo: the verdict is a pure
+        // function of `(T_e, post-hardening bits)`, so a pattern concluded
+        // on any thread is a hit everywhere and sharing never changes a
+        // result bit (racing duplicate computes insert identical values).
+        let memo = SharedConclusionMemo::default();
+        let memo = &memo;
+        let ff_total = &ff_total;
         let sink = &sink;
         let run_one = |c: usize,
                        flow: &mut FlowScratch,
@@ -925,6 +969,7 @@ pub fn run_campaign_observed(
                     end,
                     batch,
                     cache,
+                    memo,
                     ctr,
                     record_provenance,
                     sink,
@@ -937,15 +982,25 @@ pub fn run_campaign_observed(
                     start,
                     end,
                     flow,
+                    memo,
                     ctr,
                     record_provenance,
                 ),
             }
         };
+        let fold_ff = |flow: &FlowScratch, batch: &BatchChunkScratch| {
+            let mut total = ff_total
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            total.add(&flow.fast_forward_stats());
+            total.add(&batch.fast_forward_stats());
+        };
 
         if threads <= 1 {
             let mut flow = FlowScratch::default();
             let mut batch = BatchChunkScratch::default();
+            flow.set_fast_forward(options.fast_forward);
+            batch.set_fast_forward(options.fast_forward);
             let mut ctr = CounterScratch::default();
             for c in start_chunk..chunks {
                 let mut p = run_one(c, &mut flow, &mut batch, &mut ctr, 0);
@@ -963,6 +1018,7 @@ pub fn run_campaign_observed(
                     break;
                 }
             }
+            fold_ff(&flow, &batch);
         } else {
             let stop_flag = AtomicBool::new(false);
             let next = AtomicUsize::new(start_chunk);
@@ -974,9 +1030,12 @@ pub fn run_campaign_observed(
                     let next = &next;
                     let stop_flag = &stop_flag;
                     let tid = (w + 1) as u32;
+                    let fold_ff = &fold_ff;
                     s.spawn(move || {
                         let mut flow = FlowScratch::default();
                         let mut batch = BatchChunkScratch::default();
+                        flow.set_fast_forward(options.fast_forward);
+                        batch.set_fast_forward(options.fast_forward);
                         let mut ctr = CounterScratch::default();
                         loop {
                             if stop_flag.load(Ordering::Relaxed) {
@@ -993,6 +1052,7 @@ pub fn run_campaign_observed(
                                 break;
                             }
                         }
+                        fold_ff(&flow, &batch);
                     });
                 }
                 drop(tx);
@@ -1027,6 +1087,10 @@ pub fn run_campaign_observed(
 
     let elapsed_s = start_time.elapsed().as_secs_f64();
     let fresh = (state.runs_merged() - resumed_runs) as f64;
+    let mut fast_forward = ff_total
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    fast_forward.enabled = options.fast_forward;
     let meta = MetricsMeta {
         seed,
         requested_runs: n,
@@ -1038,6 +1102,10 @@ pub fn run_campaign_observed(
         } else {
             0.0
         },
+        host_cpus: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        fast_forward,
     };
     let result = state.into_result(strategy.name(), stop, options.trace_points);
     observer.on_finish(&result);
@@ -1076,6 +1144,22 @@ pub fn run_campaign_observed(
 
     if let Some(path) = &options.trace_path {
         sink.print_self_time(strategy.name());
+        let ff = &meta.fast_forward;
+        eprintln!(
+            "[fast-forward] {}: resumes {} | snapshot hits {} / misses {} (hit rate {:.1}%) | \
+             early exits {} ({:.1}% of resumes, {} cycles skipped) | confirm failures {} | \
+             evictions {}",
+            if ff.enabled { "on" } else { "off" },
+            ff.rtl_resumes,
+            ff.checkpoint_cache_hits,
+            ff.checkpoint_cache_misses,
+            100.0 * ff.checkpoint_hit_rate(),
+            ff.early_exits,
+            100.0 * ff.early_exit_rate(),
+            ff.cycles_skipped,
+            ff.confirm_failures,
+            ff.checkpoint_cache_evictions,
+        );
         let ring: Vec<ProvenanceRecord> = ring.into_iter().collect();
         if let Err(e) = trace::write_trace(
             path,

@@ -1,0 +1,588 @@
+//! RTL fast-forward: the campaign-time accelerations of the memo-miss path.
+//!
+//! A conclusion-memo miss used to pay the full RTL tail: restore the nearest
+//! golden checkpoint, `step()` up to the injection cycle, write the errors
+//! back, then simulate to halt. This module removes both halves of that
+//! cost without changing a single result bit:
+//!
+//! * [`RtlFastForward`] — a per-worker **exact-cycle snapshot cache**:
+//!   campaigns revisit a small set of injection cycles `t ≤ t_max`, so the
+//!   system state at *exactly* the start of cycle `te + 1` (injection cycle
+//!   executed, fault not yet applied) is kept per visited `te`, turning
+//!   restore-and-replay into a single `restore_from`. It also carries the
+//!   **golden-reconvergence early exit**: the paper's Observation 3 says
+//!   most injected errors die quickly or sit silently in memory-type state,
+//!   which means the faulty trajectory usually re-joins the golden trace
+//!   long before halt. The resume loop compares the cheap per-cycle
+//!   [`Soc::arch_fingerprint`] against the golden run's recorded track and,
+//!   on a match *confirmed by an exact state compare* (which does include
+//!   RAM), concludes immediately with the golden verdict — determinism
+//!   makes everything after a state match a replay of the golden run.
+//!
+//! * [`SharedConclusionMemo`] — the `(te, faulty_bits) → verdict` memo as a
+//!   sharded concurrent map shared across worker threads. The verdict is a
+//!   pure function of its key (the hardening filter consumes RNG *before*
+//!   the key is formed), so racing workers can only ever insert identical
+//!   values and sharing is result-invariant. Keys are compact: one 64-bit
+//!   hash of `(te, bits)` addresses the table, the stored entry keeps the
+//!   exact key for verification, and true hash collisions go to a spill
+//!   list — lookups never allocate.
+//!
+//! The chunk-local [`crate::trace::CampaignCounters`] accounting is
+//! deliberately untouched by all of this (it models a per-chunk memo so the
+//! counters stay kernel/thread-invariant); the schedule-dependent
+//! fast-forward counters live in [`FastForwardStats`] and surface through
+//! the metrics JSON, never through `CampaignResult`.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Mutex;
+
+use crate::flow::Concluded;
+use crate::model::Evaluation;
+use xlmc_soc::{MpuBit, Soc};
+
+/// Byte budget for the exact-cycle snapshot cache (per worker).
+const SNAPSHOT_BUDGET_BYTES: usize = 4 << 20;
+/// Approximate bytes per snapshot: the RAM image dominates.
+const SNAPSHOT_BYTES: usize = xlmc_soc::soc::RAM_BYTES as usize + 256;
+/// LRU bound on the snapshot cache derived from the byte budget.
+const MAX_SNAPSHOTS: usize = SNAPSHOT_BUDGET_BYTES / SNAPSHOT_BYTES;
+/// How many cycles past the injection the reconvergence watch keeps
+/// fingerprinting before giving up: transient pipeline/status divergence
+/// either decays within a few cycles of the flip or (a spurious trap, a
+/// re-latched sticky) not at all, so a bounded watch captures the wins
+/// without paying a per-cycle hash on runs that never rejoin.
+const WATCH_WINDOW: u64 = 64;
+
+/// Counters of the fast-forward layer.
+///
+/// These are **schedule-dependent** (cache warmth and early exits vary with
+/// thread count and chunk order), so they are reported through the metrics
+/// JSON only — never through `CampaignResult`, whose fields are all
+/// kernel/thread-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Whether the layer was enabled.
+    pub enabled: bool,
+    /// RTL resumes performed (memo misses reaching the RTL path).
+    pub rtl_resumes: u64,
+    /// Resumes positioned by a single snapshot restore.
+    pub checkpoint_cache_hits: u64,
+    /// Resumes that paid restore-and-replay (and then seeded the cache).
+    pub checkpoint_cache_misses: u64,
+    /// Snapshots evicted by the byte-budget LRU bound.
+    pub checkpoint_cache_evictions: u64,
+    /// Resumes concluded by golden reconvergence before halt.
+    pub early_exits: u64,
+    /// Fingerprint matches rejected by the exact state compare.
+    pub confirm_failures: u64,
+    /// Simulation cycles skipped by early exits.
+    pub cycles_skipped: u64,
+}
+
+impl FastForwardStats {
+    /// Accumulate another worker's counters.
+    pub fn add(&mut self, other: &FastForwardStats) {
+        self.enabled |= other.enabled;
+        self.rtl_resumes += other.rtl_resumes;
+        self.checkpoint_cache_hits += other.checkpoint_cache_hits;
+        self.checkpoint_cache_misses += other.checkpoint_cache_misses;
+        self.checkpoint_cache_evictions += other.checkpoint_cache_evictions;
+        self.early_exits += other.early_exits;
+        self.confirm_failures += other.confirm_failures;
+        self.cycles_skipped += other.cycles_skipped;
+    }
+
+    /// Fraction of resumes positioned by a snapshot restore.
+    pub fn checkpoint_hit_rate(&self) -> f64 {
+        let total = self.checkpoint_cache_hits + self.checkpoint_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.checkpoint_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of resumes concluded by golden reconvergence.
+    pub fn early_exit_rate(&self) -> f64 {
+        if self.rtl_resumes == 0 {
+            0.0
+        } else {
+            self.early_exits as f64 / self.rtl_resumes as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Snapshot {
+    soc: Soc,
+    last_used: u64,
+}
+
+/// Per-worker fast-forward state: the exact-cycle snapshot cache, the
+/// resident work/confirm systems and the lazily computed golden verdict.
+///
+/// Like [`crate::flow::FlowScratch`] (which owns one), an instance is only
+/// valid against one evaluation; the campaign engine keeps one per worker.
+#[derive(Debug)]
+pub struct RtlFastForward {
+    enabled: bool,
+    snapshots: HashMap<u64, Snapshot>,
+    /// The resident system every resume mutates (restored, never cloned).
+    work: Option<Soc>,
+    /// Scratch system for the exact reconvergence confirm.
+    confirm: Option<Soc>,
+    /// `goal.succeeded(golden.final_soc)`, computed on first early exit.
+    golden_verdict: Option<bool>,
+    tick: u64,
+    stats: FastForwardStats,
+}
+
+impl Default for RtlFastForward {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl RtlFastForward {
+    /// A fresh fast-forward state; `enabled = false` degrades every resume
+    /// to the reference restore-and-replay, run-to-halt path (bit-identical
+    /// results, no acceleration).
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            snapshots: HashMap::new(),
+            work: None,
+            confirm: None,
+            golden_verdict: None,
+            tick: 0,
+            stats: FastForwardStats {
+                enabled,
+                ..FastForwardStats::default()
+            },
+        }
+    }
+
+    /// Enable or disable the layer (the snapshot cache is dropped so a
+    /// re-enable starts cold).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.stats.enabled = enabled;
+        if !enabled {
+            self.snapshots.clear();
+        }
+    }
+
+    /// Whether the layer is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The counters accumulated by resumes on this state.
+    pub fn stats(&self) -> FastForwardStats {
+        self.stats
+    }
+
+    /// The full RTL tail of one conclusion: position the work system at the
+    /// start of cycle `te + 1` (snapshot restore on a cache hit, reference
+    /// restore-and-replay on a miss), write the errors back, and simulate to
+    /// completion — exiting early with the golden verdict when the faulty
+    /// state provably re-joins the golden trajectory.
+    pub(crate) fn resume(&mut self, eval: &Evaluation, te: u64, faulty_bits: &[MpuBit]) -> bool {
+        self.stats.rtl_resumes += 1;
+        let golden = &eval.golden;
+        let checkpoint = golden.nearest_checkpoint(te);
+        if self.work.is_none() {
+            self.work = Some(checkpoint.clone());
+        }
+        let work = self.work.as_mut().expect("work slot just filled");
+
+        let mut positioned = false;
+        if self.enabled {
+            if let Some(snap) = self.snapshots.get_mut(&te) {
+                self.tick += 1;
+                snap.last_used = self.tick;
+                work.restore_from(&snap.soc);
+                self.stats.checkpoint_cache_hits += 1;
+                positioned = true;
+            }
+        }
+        if !positioned {
+            work.restore_from(checkpoint);
+            while work.cycle < te {
+                work.step();
+            }
+            // Execute the injection cycle; the snapshot is taken pre-fault
+            // so every error pattern at this `te` starts from it.
+            work.step();
+            if self.enabled {
+                self.stats.checkpoint_cache_misses += 1;
+                if self.snapshots.len() >= MAX_SNAPSHOTS {
+                    if let Some(&oldest) = self
+                        .snapshots
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(te, _)| te)
+                    {
+                        self.snapshots.remove(&oldest);
+                        self.stats.checkpoint_cache_evictions += 1;
+                    }
+                }
+                self.tick += 1;
+                self.snapshots.insert(
+                    te,
+                    Snapshot {
+                        soc: work.clone(),
+                        last_used: self.tick,
+                    },
+                );
+            }
+        }
+
+        for &b in faulty_bits {
+            work.mpu.toggle_bit(b);
+        }
+
+        // Run to completion. While watching, compare the per-cycle
+        // fingerprint against the golden track: a confirmed match means the
+        // remaining trajectory *is* the golden one (stepping is
+        // deterministic), so the verdict is the golden verdict. The early
+        // exit is only sound when the golden run actually halted — a capped
+        // golden run has no recorded trajectory past its cap, while the
+        // faulty run may simulate further.
+        //
+        // Watching is itself a pure scheduling choice (a missed match only
+        // means running to halt like the reference), so it is gated to where
+        // it can pay: a flipped MPU *config* bit persists until software
+        // rewrites the configuration — the fingerprint covers the config, so
+        // such a resume can never rejoin the golden track — and transient
+        // pipeline/status divergence either decays within a few cycles or
+        // not at all. Config-bit error sets are not watched, and the watch
+        // stops [`WATCH_WINDOW`] cycles past the injection.
+        let goal = eval.workload.goal;
+        let mut watch =
+            self.enabled && golden.final_soc.halted() && faulty_bits.iter().all(|b| !b.is_config());
+        let watch_limit = te.saturating_add(WATCH_WINDOW);
+        while !work.halted() && work.cycle < eval.max_cycles {
+            if watch && work.cycle > watch_limit {
+                watch = false;
+            }
+            if watch
+                && work.cycle < golden.cycles
+                && golden.fingerprints[work.cycle as usize] == work.arch_fingerprint()
+            {
+                if self.confirm.is_none() {
+                    self.confirm = Some(golden.nearest_checkpoint(work.cycle).clone());
+                }
+                let confirm = self.confirm.as_mut().expect("confirm slot just filled");
+                confirm.restore_from(golden.nearest_checkpoint(work.cycle));
+                while confirm.cycle < work.cycle {
+                    confirm.step();
+                }
+                if *confirm == *work {
+                    self.stats.early_exits += 1;
+                    self.stats.cycles_skipped += golden.cycles - work.cycle;
+                    return *self
+                        .golden_verdict
+                        .get_or_insert_with(|| goal.succeeded(&golden.final_soc));
+                }
+                // Fingerprint collision (RAM or a hash alias diverges): it
+                // would keep colliding every cycle, so stop watching and
+                // fall back to the plain run-to-halt for this resume.
+                self.stats.confirm_failures += 1;
+                watch = false;
+            }
+            work.step();
+        }
+        goal.succeeded(work)
+    }
+}
+
+/// Hasher for keys that are already well-mixed 64-bit hashes: multiply by an
+/// odd constant instead of SipHash. The byte fallback (never hit by the memo,
+/// which only writes `u64`s) is FNV-1a.
+#[derive(Debug, Default)]
+pub struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// The compact memo key: FNV-1a over the injection cycle and each bit's
+/// canonical code, finished with a SplitMix64 mix so both the shard selector
+/// (top bits) and the table index (low bits) see full entropy.
+pub(crate) fn key_hash(te: u64, bits: &[MpuBit]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |v: u64| h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    fold(te);
+    for &b in bits {
+        fold(bit_code(b));
+    }
+    let mut x = h;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A unique integer code per [`MpuBit`] (variant tag in the high byte shown,
+/// indices below), so hashing never allocates or walks strings.
+fn bit_code(b: MpuBit) -> u64 {
+    let (tag, r, i) = match b {
+        MpuBit::Enable => (0u64, 0, 0),
+        MpuBit::Base(r, i) => (1, r, i),
+        MpuBit::Limit(r, i) => (2, r, i),
+        MpuBit::Perms(r, i) => (3, r, i),
+        MpuBit::PipeAddr(i) => (4, 0, i),
+        MpuBit::PipeKind(i) => (5, 0, i),
+        MpuBit::PipeUser => (6, 0, 0),
+        MpuBit::PipeValid => (7, 0, 0),
+        MpuBit::Violation => (8, 0, 0),
+        MpuBit::StickyViol => (9, 0, 0),
+        MpuBit::StickyAddr(i) => (10, 0, i),
+        MpuBit::StickyKind(i) => (11, 0, i),
+    };
+    tag << 16 | u64::from(r) << 8 | u64::from(i)
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    te: u64,
+    bits: Box<[MpuBit]>,
+    verdict: Concluded,
+}
+
+impl MemoEntry {
+    fn matches(&self, te: u64, bits: &[MpuBit]) -> bool {
+        self.te == te && self.bits.as_ref() == bits
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemoShard {
+    /// Primary table: one entry per distinct key hash.
+    fast: HashMap<u64, MemoEntry, BuildHasherDefault<PreHashed>>,
+    /// True 64-bit hash collisions (vanishingly rare; scanned linearly).
+    spill: HashMap<u64, Vec<MemoEntry>, BuildHasherDefault<PreHashed>>,
+}
+
+/// Number of memo shards; locks are held only for one probe or insert, so a
+/// handful of shards keeps contention negligible at campaign thread counts.
+const MEMO_SHARDS: usize = 16;
+
+/// The cross-thread `(te, faulty_bits) → verdict` memo.
+///
+/// The verdict is a pure function of the key (RNG is consumed before the key
+/// is formed), so concurrent duplicate computes insert identical values and
+/// every interleaving yields bit-identical campaign results. Entries are
+/// verified against the exact stored key — the hash only addresses.
+#[derive(Debug, Default)]
+pub struct SharedConclusionMemo {
+    shards: [Mutex<MemoShard>; MEMO_SHARDS],
+}
+
+impl SharedConclusionMemo {
+    fn shard(&self, hash: u64) -> &Mutex<MemoShard> {
+        &self.shards[(hash >> 60) as usize % MEMO_SHARDS]
+    }
+
+    /// Look up a concluded verdict; allocation-free.
+    pub(crate) fn get(&self, hash: u64, te: u64, bits: &[MpuBit]) -> Option<Concluded> {
+        let shard = self
+            .shard(hash)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = shard.fast.get(&hash)?;
+        if entry.matches(te, bits) {
+            return Some(entry.verdict);
+        }
+        shard
+            .spill
+            .get(&hash)?
+            .iter()
+            .find(|e| e.matches(te, bits))
+            .map(|e| e.verdict)
+    }
+
+    /// Record a concluded verdict. Idempotent: a racing duplicate compute
+    /// re-inserts the identical value and is dropped.
+    pub(crate) fn insert(&self, hash: u64, te: u64, bits: &[MpuBit], verdict: Concluded) {
+        let mut guard = self
+            .shard(hash)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = &mut *guard;
+        match shard.fast.entry(hash) {
+            Entry::Vacant(e) => {
+                e.insert(MemoEntry {
+                    te,
+                    bits: bits.into(),
+                    verdict,
+                });
+            }
+            Entry::Occupied(e) => {
+                if e.get().matches(te, bits) {
+                    return;
+                }
+                let list = shard.spill.entry(hash).or_default();
+                if !list.iter().any(|x| x.matches(te, bits)) {
+                    list.push(MemoEntry {
+                        te,
+                        bits: bits.into(),
+                        verdict,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Total entries across all shards (tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                s.fast.len() + s.spill.values().map(Vec::len).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::StrikeClass;
+
+    fn concluded(success: bool) -> Concluded {
+        Concluded {
+            success,
+            class: StrikeClass::Mixed,
+            analytic: false,
+        }
+    }
+
+    #[test]
+    fn memo_round_trips_and_verifies_exact_keys() {
+        let memo = SharedConclusionMemo::default();
+        let bits = [MpuBit::Violation, MpuBit::Enable];
+        let h = key_hash(5, &bits);
+        assert!(memo.get(h, 5, &bits).is_none());
+        memo.insert(h, 5, &bits, concluded(true));
+        assert!(memo.get(h, 5, &bits).unwrap().success);
+        // Same hash handed in with a different exact key must miss (and a
+        // colliding insert must land in the spill, not overwrite).
+        let other = [MpuBit::PipeValid];
+        assert!(memo.get(h, 5, &other).is_none());
+        memo.insert(h, 5, &other, concluded(false));
+        assert!(memo.get(h, 5, &bits).unwrap().success);
+        assert!(!memo.get(h, 5, &other).unwrap().success);
+        assert_eq!(memo.len(), 2);
+        // Duplicate inserts are dropped.
+        memo.insert(h, 5, &bits, concluded(true));
+        memo.insert(h, 5, &other, concluded(false));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn key_hash_separates_te_and_bit_patterns() {
+        let a = [MpuBit::Base(0, 1)];
+        let b = [MpuBit::Base(1, 0)];
+        assert_ne!(key_hash(3, &a), key_hash(3, &b));
+        assert_ne!(key_hash(3, &a), key_hash(4, &a));
+        assert_ne!(key_hash(3, &[]), key_hash(3, &a));
+        // Order matters (patterns are canonical, never reordered).
+        let ab = [MpuBit::Enable, MpuBit::Violation];
+        let ba = [MpuBit::Violation, MpuBit::Enable];
+        assert_ne!(key_hash(3, &ab), key_hash(3, &ba));
+    }
+
+    #[test]
+    fn snapshot_cache_respects_the_lru_bound() {
+        // Pure cache-bookkeeping test: drive the LRU logic through stats.
+        const { assert!(MAX_SNAPSHOTS >= 8, "budget must hold a useful working set") };
+        let ff = RtlFastForward::default();
+        assert!(ff.enabled());
+        assert_eq!(ff.stats().rtl_resumes, 0);
+        let off = RtlFastForward::new(false);
+        assert!(!off.enabled());
+        assert!(!off.stats().enabled);
+    }
+
+    #[test]
+    fn stats_accumulate_and_expose_rates() {
+        let mut total = FastForwardStats::default();
+        let worker = FastForwardStats {
+            enabled: true,
+            rtl_resumes: 10,
+            checkpoint_cache_hits: 6,
+            checkpoint_cache_misses: 2,
+            checkpoint_cache_evictions: 1,
+            early_exits: 5,
+            confirm_failures: 1,
+            cycles_skipped: 1234,
+        };
+        total.add(&worker);
+        total.add(&worker);
+        assert!(total.enabled);
+        assert_eq!(total.rtl_resumes, 20);
+        assert_eq!(total.cycles_skipped, 2468);
+        assert!((total.checkpoint_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((total.early_exit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(FastForwardStats::default().checkpoint_hit_rate(), 0.0);
+        assert_eq!(FastForwardStats::default().early_exit_rate(), 0.0);
+    }
+
+    /// A flipped pipeline/status register is overwritten by the design
+    /// within a few cycles: the watched resume must detect the rejoin,
+    /// pass the exact confirm and conclude with the golden verdict —
+    /// matching the disabled reference resume bit for bit.
+    #[test]
+    fn transient_pipeline_flips_reconverge_and_early_exit() {
+        let eval = Evaluation::new(xlmc_soc::workloads::illegal_write()).unwrap();
+        let mut ff = RtlFastForward::default();
+        let mut reference = RtlFastForward::new(false);
+        let transient = [
+            MpuBit::PipeAddr(0),
+            MpuBit::PipeAddr(9),
+            MpuBit::PipeKind(0),
+            MpuBit::PipeUser,
+            MpuBit::PipeValid,
+            MpuBit::Violation,
+        ];
+        for te in [eval.target_cycle - 12, eval.target_cycle - 5] {
+            for bit in transient {
+                let fast = ff.resume(&eval, te, &[bit]);
+                let slow = reference.resume(&eval, te, &[bit]);
+                assert_eq!(fast, slow, "{bit:?} at te {te}");
+            }
+        }
+        let stats = ff.stats();
+        assert!(
+            stats.early_exits > 0,
+            "no transient flip reconverged to the golden track: {stats:?}"
+        );
+        assert!(stats.cycles_skipped > 0);
+        assert!(stats.early_exit_rate() > 0.0);
+        assert_eq!(reference.stats().early_exits, 0);
+    }
+}

@@ -17,6 +17,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::analytic::{self, AnalyticVerdict};
+use crate::fastforward::{self, FastForwardStats, RtlFastForward, SharedConclusionMemo};
 use crate::harden::HardenedSet;
 use crate::lifetime::RegisterKind;
 use crate::model::{Evaluation, SystemModel};
@@ -26,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use xlmc_fault::{AttackSample, RadiationSpot};
 use xlmc_gatesim::{CycleValues, StrikeOutcome, TransientScratch};
 use xlmc_netlist::GateId;
-use xlmc_soc::{MpuBit, Soc};
+use xlmc_soc::MpuBit;
 
 /// The classification of one strike by where its errors landed
 /// (paper Figure 10(a)).
@@ -124,22 +125,22 @@ impl RunView<'_> {
 /// the expensive resume entirely.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Concluded {
-    success: bool,
-    class: StrikeClass,
-    analytic: bool,
+    pub(crate) success: bool,
+    pub(crate) class: StrikeClass,
+    pub(crate) analytic: bool,
 }
 
 /// Reusable per-worker buffers for [`FaultRunner::run_with`].
 ///
-/// Holds every transient allocation of the flow, plus three memos that are
-/// valid **only against one `(model, evaluation, prechar)` triple**: the
-/// netlist cycle values keyed by injection cycle (the golden run makes them
-/// a pure function of `T_e`), the conclusion memo keyed by `(T_e,
-/// post-hardening bits)` (see [`Concluded`]), and the resident RTL-resume
-/// system that checkpoint restores copy into instead of cloning. Never move
-/// one scratch between runners with different models, evaluations or
-/// pre-characterizations; within one campaign the engine keeps a scratch
-/// per worker.
+/// Holds every transient allocation of the flow, plus state that is valid
+/// **only against one `(model, evaluation, prechar)` triple**: the netlist
+/// cycle values keyed by injection cycle (the golden run makes them a pure
+/// function of `T_e`), the RTL fast-forward state (the exact-cycle snapshot
+/// cache, the resident resume system and the reconvergence scratch — see
+/// [`RtlFastForward`]), and a fallback conclusion memo used when the caller
+/// does not supply a campaign-shared one. Never move one scratch between
+/// runners with different models, evaluations or pre-characterizations;
+/// within one campaign the engine keeps a scratch per worker.
 #[derive(Debug, Default)]
 pub struct FlowScratch {
     cycle_cache: HashMap<u64, CycleValues>,
@@ -150,8 +151,23 @@ pub struct FlowScratch {
     strike_out: StrikeOutcome,
     faulty_regs: Vec<GateId>,
     faulty_bits: Vec<MpuBit>,
-    resume_soc: Option<Soc>,
-    conclude_memo: HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
+    ff: RtlFastForward,
+    local_memo: SharedConclusionMemo,
+}
+
+impl FlowScratch {
+    /// Enable or disable the RTL fast-forward accelerations (snapshot cache
+    /// and golden-reconvergence early exit). On by default; disabling
+    /// degrades every resume to the reference restore-and-replay path,
+    /// which produces bit-identical results.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff.set_enabled(enabled);
+    }
+
+    /// The fast-forward counters accumulated by runs on this scratch.
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff.stats()
+    }
 }
 
 /// Executes attack runs against one evaluation setup.
@@ -222,6 +238,21 @@ impl FaultRunner<'_> {
         rng: &mut impl Rng,
         scratch: &'s mut FlowScratch,
     ) -> RunView<'s> {
+        self.run_shared(sample, rng, scratch, None)
+    }
+
+    /// [`FaultRunner::run_with`] against a campaign-shared conclusion memo
+    /// (falls back to the scratch-local one when `memo` is `None`). The
+    /// verdict is a pure function of `(T_e, post-hardening bits)` — the
+    /// hardening filter consumes RNG before the key is formed — so sharing
+    /// the memo across workers never changes a result bit.
+    pub(crate) fn run_shared<'s>(
+        &self,
+        sample: &AttackSample,
+        rng: &mut impl Rng,
+        scratch: &'s mut FlowScratch,
+        memo: Option<&SharedConclusionMemo>,
+    ) -> RunView<'s> {
         let golden = &self.eval.golden;
         let te = match sample.injection_cycle(self.eval.target_cycle) {
             Some(te) if te < golden.cycles => te,
@@ -247,9 +278,10 @@ impl FaultRunner<'_> {
             strike_out,
             faulty_regs,
             faulty_bits,
-            resume_soc,
-            conclude_memo,
+            ff,
+            local_memo,
         } = scratch;
+        let memo = memo.unwrap_or(local_memo);
 
         let netlist = self.model.mpu.netlist();
         // The injection-cycle values are a pure function of `te` on the
@@ -292,7 +324,7 @@ impl FaultRunner<'_> {
         faulty_bits.extend(faulty_regs.iter().filter_map(|&d| self.model.mpu.bit_of(d)));
         let pulses = strike_out.pulses_propagated;
         let gates = strike_out.gates_visited;
-        let mut view = self.conclude_with(te, rng, faulty_bits, resume_soc, conclude_memo);
+        let mut view = self.conclude_with(te, rng, faulty_bits, ff, memo);
         view.pulses_propagated = pulses;
         view.gates_visited = gates;
         view
@@ -332,9 +364,9 @@ impl FaultRunner<'_> {
     /// Shared downstream half of the flow: hardening filter, memory /
     /// computation classification, analytic evaluation or RTL resume.
     fn conclude(&self, te: u64, mut faulty_bits: Vec<MpuBit>, rng: &mut impl Rng) -> AttackOutcome {
-        let mut slot = None;
-        let mut memo = HashMap::new();
-        self.conclude_with(te, rng, &mut faulty_bits, &mut slot, &mut memo)
+        let mut ff = RtlFastForward::default();
+        let memo = SharedConclusionMemo::default();
+        self.conclude_with(te, rng, &mut faulty_bits, &mut ff, &memo)
             .to_outcome()
     }
 
@@ -347,8 +379,8 @@ impl FaultRunner<'_> {
         te: u64,
         rng: &mut impl Rng,
         faulty_bits: &'s mut Vec<MpuBit>,
-        resume_soc: &mut Option<Soc>,
-        memo: &mut HashMap<u64, HashMap<Box<[MpuBit]>, Concluded>>,
+        ff: &mut RtlFastForward,
+        memo: &SharedConclusionMemo,
     ) -> RunView<'s> {
         if let Some(h) = self.hardening {
             faulty_bits.retain(|&b| h.flip_survives(b, rng));
@@ -365,8 +397,8 @@ impl FaultRunner<'_> {
             };
         }
 
-        let te_memo = memo.entry(te).or_default();
-        if let Some(&c) = te_memo.get(faulty_bits.as_slice()) {
+        let key = fastforward::key_hash(te, faulty_bits);
+        if let Some(c) = memo.get(key, te, faulty_bits) {
             return RunView {
                 success: c.success,
                 class: c.class,
@@ -392,15 +424,15 @@ impl FaultRunner<'_> {
         // the RTL resume from the nearest golden checkpoint.
         let (success, analytic) = match class {
             StrikeClass::MemoryOnly => match analytic::evaluate(self.eval, faulty_bits, te) {
-                AnalyticVerdict::NotApplicable => {
-                    (self.rtl_resume_in(te, faulty_bits, resume_soc), false)
-                }
+                AnalyticVerdict::NotApplicable => (ff.resume(self.eval, te, faulty_bits), false),
                 verdict => (verdict == AnalyticVerdict::Success, true),
             },
-            _ => (self.rtl_resume_in(te, faulty_bits, resume_soc), false),
+            _ => (ff.resume(self.eval, te, faulty_bits), false),
         };
-        te_memo.insert(
-            faulty_bits.as_slice().into(),
+        memo.insert(
+            key,
+            te,
+            faulty_bits,
             Concluded {
                 success,
                 class,
@@ -416,31 +448,6 @@ impl FaultRunner<'_> {
             pulses_propagated: 0,
             gates_visited: 0,
         }
-    }
-
-    /// Restore, replay to the injection cycle, write the errors back into
-    /// the architectural state, and run to completion. The checkpoint is
-    /// copied into the resident `slot` system when one exists instead of
-    /// cloning a fresh one.
-    fn rtl_resume_in(&self, te: u64, faulty_bits: &[MpuBit], slot: &mut Option<Soc>) -> bool {
-        let checkpoint = self.eval.golden.nearest_checkpoint(te);
-        let soc = match slot {
-            Some(soc) => {
-                soc.restore_from(checkpoint);
-                soc
-            }
-            None => slot.insert(checkpoint.clone()),
-        };
-        while soc.cycle < te {
-            soc.step();
-        }
-        // Execute the injection cycle, then apply the latched errors.
-        soc.step();
-        for &b in faulty_bits {
-            soc.mpu.toggle_bit(b);
-        }
-        soc.run_until_halt(self.eval.max_cycles);
-        self.eval.workload.goal.succeeded(soc)
     }
 }
 
@@ -620,8 +627,12 @@ mod tests {
             let out = r.run(&sample, &mut rng);
             if out.class == StrikeClass::MemoryOnly && out.analytic {
                 let te = out.injection_cycle.unwrap();
-                let rtl = r.rtl_resume_in(te, &out.faulty_bits, &mut None);
-                assert_eq!(out.success, rtl, "cell {cell}: {:?}", out.faulty_bits);
+                let mut ff_on = RtlFastForward::default();
+                let mut ff_off = RtlFastForward::new(false);
+                let fast = ff_on.resume(&f.eval, te, &out.faulty_bits);
+                let slow = ff_off.resume(&f.eval, te, &out.faulty_bits);
+                assert_eq!(out.success, fast, "cell {cell}: {:?}", out.faulty_bits);
+                assert_eq!(out.success, slow, "cell {cell}: {:?}", out.faulty_bits);
                 checked += 1;
             }
         }
@@ -700,6 +711,49 @@ mod tests {
             assert_eq!(view.analytic, fresh.analytic, "{sample:?}");
             assert_eq!(view.injection_cycle, fresh.injection_cycle, "{sample:?}");
         }
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_resume() {
+        // Drive an identical sample stream through two scratches — one with
+        // the fast-forward layer on, one off — under twin RNG streams.
+        // Every outcome must be bit-identical, and the accelerated scratch
+        // should actually exercise its fast paths.
+        let f = fixture();
+        let r = runner(&f, None);
+        let mut on = FlowScratch::default();
+        let mut off = FlowScratch::default();
+        off.set_fast_forward(false);
+        let mut rng_a = StdRng::seed_from_u64(44);
+        let mut rng_b = StdRng::seed_from_u64(44);
+        let cells = f.prechar.space.frame_for(4).unwrap().cells.clone();
+        for pass in 0..2 {
+            for (i, &c) in cells.iter().enumerate() {
+                if i % 3 != 0 {
+                    continue; // subsample for test speed
+                }
+                let sample = AttackSample {
+                    t: 4,
+                    center: c,
+                    radius: 1.5,
+                    phase: (i % 8) as u8,
+                };
+                let fast = r.run_with(&sample, &mut rng_a, &mut on).to_outcome();
+                let slow = r.run_with(&sample, &mut rng_b, &mut off).to_outcome();
+                assert_eq!(fast.success, slow.success, "pass {pass} cell {c}");
+                assert_eq!(fast.class, slow.class, "pass {pass} cell {c}");
+                assert_eq!(fast.faulty_bits, slow.faulty_bits, "pass {pass} cell {c}");
+                assert_eq!(fast.analytic, slow.analytic, "pass {pass} cell {c}");
+            }
+        }
+        let stats = on.fast_forward_stats();
+        assert!(stats.enabled);
+        assert!(stats.rtl_resumes > 0, "fixture should reach the RTL path");
+        assert!(stats.checkpoint_cache_hits > 0, "repeat pass should hit");
+        let off_stats = off.fast_forward_stats();
+        assert!(!off_stats.enabled);
+        assert_eq!(off_stats.checkpoint_cache_hits, 0);
+        assert_eq!(off_stats.early_exits, 0);
     }
 
     #[test]

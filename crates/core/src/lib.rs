@@ -65,6 +65,7 @@ pub mod analytic;
 mod batch;
 pub mod correlation;
 pub mod estimator;
+pub mod fastforward;
 pub mod flow;
 pub mod harden;
 pub mod lifetime;

@@ -166,7 +166,7 @@ fn derive_cell_characters(
                     }
                     continue;
                 }
-                for &c in &fanouts[id.index()] {
+                for &c in fanouts.of(id) {
                     queue.push_back(c);
                 }
             }

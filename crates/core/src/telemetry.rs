@@ -28,6 +28,7 @@
 //! recursive-descent parser ([`JsonValue`]).
 
 use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts};
+use crate::fastforward::FastForwardStats;
 use crate::stats::RunningStats;
 use crate::trace::{counters_from_json, counters_json, CampaignCounters, KernelCounters};
 use std::collections::BTreeMap;
@@ -702,7 +703,8 @@ impl CampaignCheckpoint {
 // ---------------------------------------------------------------------------
 
 /// The metrics format tag pinned by `schemas/metrics.schema.json`.
-pub const METRICS_FORMAT: &str = "xlmc-metrics-v1";
+/// `v2` added `host_cpus` and the `fast_forward` counter object.
+pub const METRICS_FORMAT: &str = "xlmc-metrics-v2";
 
 /// Campaign-level context the metrics file records alongside the result.
 #[derive(Debug, Clone, Copy)]
@@ -720,6 +722,11 @@ pub struct MetricsMeta {
     pub elapsed_s: f64,
     /// Fresh runs per wall-clock second.
     pub runs_per_sec: f64,
+    /// Logical CPUs available on the host that ran the campaign.
+    pub host_cpus: usize,
+    /// RTL fast-forward counters (schedule-dependent — that is why they
+    /// live here and not in the kernel/thread-invariant `CampaignResult`).
+    pub fast_forward: FastForwardStats,
 }
 
 /// Render the finished campaign as the metrics JSON document.
@@ -758,6 +765,23 @@ pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
     );
     let _ = writeln!(s, "  \"elapsed_s\": {},", json_num(meta.elapsed_s));
     let _ = writeln!(s, "  \"runs_per_sec\": {},", json_num(meta.runs_per_sec));
+    let _ = writeln!(s, "  \"host_cpus\": {},", meta.host_cpus);
+    let ff = &meta.fast_forward;
+    let _ = writeln!(
+        s,
+        "  \"fast_forward\": {{\"enabled\": {}, \"rtl_resumes\": {}, \
+         \"checkpoint_cache_hits\": {}, \"checkpoint_cache_misses\": {}, \
+         \"checkpoint_cache_evictions\": {}, \"early_exits\": {}, \"confirm_failures\": {}, \
+         \"cycles_skipped\": {}}},",
+        ff.enabled,
+        ff.rtl_resumes,
+        ff.checkpoint_cache_hits,
+        ff.checkpoint_cache_misses,
+        ff.checkpoint_cache_evictions,
+        ff.early_exits,
+        ff.confirm_failures,
+        ff.cycles_skipped,
+    );
     let _ = writeln!(
         s,
         "  \"class_counts\": {{\"masked\": {}, \"memory_only\": {}, \"mixed\": {}}},",
@@ -979,6 +1003,17 @@ mod tests {
             target_confidence: 0.95,
             elapsed_s: 1.5,
             runs_per_sec: 682.6,
+            host_cpus: 8,
+            fast_forward: FastForwardStats {
+                enabled: true,
+                rtl_resumes: 24,
+                checkpoint_cache_hits: 20,
+                checkpoint_cache_misses: 4,
+                checkpoint_cache_evictions: 0,
+                early_exits: 11,
+                confirm_failures: 1,
+                cycles_skipped: 4321,
+            },
         };
         let doc = JsonValue::parse(&metrics_json(&result, &meta)).unwrap();
         assert_eq!(
@@ -996,6 +1031,14 @@ mod tests {
             Some(40)
         );
         assert!(doc.get("counters").and_then(|c| c.get("kernel")).is_some());
+        assert_eq!(doc.get("host_cpus").and_then(JsonValue::as_u64), Some(8));
+        let ff = doc.get("fast_forward").unwrap();
+        assert_eq!(ff.get("enabled"), Some(&JsonValue::Bool(true)));
+        assert_eq!(ff.get("early_exits").and_then(JsonValue::as_u64), Some(11));
+        assert_eq!(
+            ff.get("cycles_skipped").and_then(JsonValue::as_u64),
+            Some(4321)
+        );
         let trace = doc.get("trace").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[1].as_arr().unwrap()[0].as_u64(), Some(1024));

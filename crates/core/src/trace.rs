@@ -399,17 +399,22 @@ impl KernelCounters {
 #[derive(Default)]
 pub(crate) struct CounterScratch {
     seen_te: HashSet<u64>,
-    seen_conclusions: HashMap<u64, HashSet<Box<[MpuBit]>>>,
+    /// Campaign-lifetime intern table: each distinct error pattern pays one
+    /// `Box<[MpuBit]>` allocation ever; the per-chunk membership set below
+    /// stores only `(te, pattern id)` pairs, so the hot path is
+    /// allocation-free once the pattern vocabulary is warm.
+    interner: HashMap<Box<[MpuBit]>, u32>,
+    /// Conclusion keys seen this chunk, as `(te, interned pattern id)`.
+    seen: HashSet<(u64, u32)>,
     rtl_seen: bool,
 }
 
 impl CounterScratch {
-    /// Reset for a new chunk (keeps allocations).
+    /// Reset for a new chunk (keeps allocations — and the intern table,
+    /// which is chunk-independent).
     pub(crate) fn begin_chunk(&mut self) {
         self.seen_te.clear();
-        for set in self.seen_conclusions.values_mut() {
-            set.clear();
-        }
+        self.seen.clear();
         self.rtl_seen = false;
     }
 
@@ -436,12 +441,18 @@ impl CounterScratch {
             // Masked after hardening: the conclusion memo is never consulted.
             return;
         }
-        let set = self.seen_conclusions.entry(te).or_default();
-        if set.contains(bits) {
+        let id = match self.interner.get(bits) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.interner.len()).expect("< 2^32 distinct patterns");
+                self.interner.insert(bits.into(), id);
+                id
+            }
+        };
+        if !self.seen.insert((te, id)) {
             c.conclusion_memo_hits += 1;
             return;
         }
-        set.insert(bits.into());
         c.conclusion_memo_misses += 1;
         if analytic {
             c.conclusions_analytic += 1;

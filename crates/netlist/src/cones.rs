@@ -135,7 +135,7 @@ fn backward_closure(netlist: &Netlist, seeds: &[GateId]) -> (Vec<GateId>, Vec<Ga
 /// later frame).
 fn forward_closure(
     netlist: &Netlist,
-    fanouts: &[Vec<GateId>],
+    fanouts: &crate::netlist::FanoutAdjacency,
     seeds: &[GateId],
 ) -> (Vec<GateId>, Vec<GateId>) {
     let mut seen: HashSet<GateId> = HashSet::new();
@@ -150,7 +150,7 @@ fn forward_closure(
             frontier_q.push(id);
             continue;
         }
-        for &consumer in &fanouts[id.index()] {
+        for &consumer in fanouts.of(id) {
             queue.push_back(consumer);
         }
     }
@@ -189,7 +189,7 @@ pub fn fanout_cone(netlist: &Netlist, signal: GateId, max_frame: u32) -> ConeSet
     let mut set = ConeSet::default();
     let mut seeds = vec![signal];
     for frame in 1..=max_frame {
-        let (mut gates, frontier_q) = forward_closure(netlist, &fanouts, &seeds);
+        let (mut gates, frontier_q) = forward_closure(netlist, fanouts, &seeds);
         // DFFs reached belong to this frame even though traversal stops there.
         gates.extend(frontier_q.iter().copied());
         if gates.is_empty() {

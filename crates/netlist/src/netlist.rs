@@ -4,6 +4,7 @@ use crate::cell::CellKind;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a gate inside a [`Netlist`].
 ///
@@ -106,6 +107,52 @@ pub struct Netlist {
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     dffs: Vec<GateId>,
+    /// Lazily built fanout adjacency; invalidated by any mutation.
+    fanout_cache: OnceLock<FanoutAdjacency>,
+}
+
+/// Compressed-sparse-row fanout adjacency of a [`Netlist`].
+///
+/// `of(g)` is the slice of gates consuming `g`'s output, in ascending
+/// consumer-id order (the order the old `Vec<Vec<GateId>>` representation
+/// produced). Two flat arrays instead of one allocation per gate, built once
+/// per netlist by [`Netlist::fanouts`] and cached until the next mutation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanoutAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<GateId>,
+}
+
+impl FanoutAdjacency {
+    fn build(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut offsets = vec![0u32; n + 1];
+        for (_, gate) in netlist.iter() {
+            for &f in &gate.fanin {
+                offsets[f.index() + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = vec![GateId(0); offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for (id, gate) in netlist.iter() {
+            for &f in &gate.fanin {
+                let slot = &mut cursor[f.index()];
+                targets[*slot as usize] = id;
+                *slot += 1;
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// The consumers of gate `id`, in ascending id order.
+    pub fn of(&self, id: GateId) -> &[GateId] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
 }
 
 impl Netlist {
@@ -177,6 +224,7 @@ impl Netlist {
     }
 
     fn push(&mut self, gate: Gate) -> GateId {
+        self.fanout_cache.take();
         let id = GateId(self.gates.len() as u32);
         if let Some(name) = &gate.name {
             // Last writer wins is surprising; keep first and panic in debug.
@@ -272,18 +320,18 @@ impl Netlist {
     ///
     /// Panics when `id` is out of range.
     pub fn set_fanin(&mut self, id: GateId, fanin: Vec<GateId>) {
+        self.fanout_cache.take();
         self.gates[id.index()].fanin = fanin;
     }
 
-    /// Compute fanout adjacency: for each gate, the gates that consume it.
-    pub fn fanouts(&self) -> Vec<Vec<GateId>> {
-        let mut out = vec![Vec::new(); self.gates.len()];
-        for (id, gate) in self.iter() {
-            for &f in &gate.fanin {
-                out[f.index()].push(id);
-            }
-        }
-        out
+    /// Fanout adjacency: for each gate, the gates that consume it.
+    ///
+    /// Built on first use and cached on the netlist (every mutation
+    /// invalidates the cache), so repeated traversals — placement, cones,
+    /// per-cell pre-characterization — stop paying an O(gates) rebuild.
+    pub fn fanouts(&self) -> &FanoutAdjacency {
+        self.fanout_cache
+            .get_or_init(|| FanoutAdjacency::build(self))
     }
 
     /// Validate structural invariants: fanin ids in range, arities correct,
@@ -456,9 +504,32 @@ mod tests {
         let n = tiny();
         let fo = n.fanouts();
         let a = n.find("a").unwrap();
-        let and_consumers = &fo[a.index()];
+        let and_consumers = fo.of(a);
         assert_eq!(and_consumers.len(), 1);
         assert_eq!(n.gate(and_consumers[0]).kind, CellKind::And);
+        // Every fanin edge appears exactly once in the adjacency, ascending.
+        for (id, gate) in n.iter() {
+            for &f in &gate.fanin {
+                assert!(fo.of(f).contains(&id));
+            }
+            assert!(fo.of(id).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn fanout_cache_is_invalidated_by_mutation() {
+        let mut n = tiny();
+        let a = n.find("a").unwrap();
+        let b = n.find("b").unwrap();
+        assert_eq!(n.fanouts().of(a).len(), 1);
+        // Rewiring the AND gate off `a` must rebuild the adjacency.
+        let and = n.fanouts().of(a)[0];
+        n.set_fanin(and, vec![b, b]);
+        assert!(n.fanouts().of(a).is_empty());
+        assert_eq!(n.fanouts().of(b).len(), 2);
+        // Adding a gate invalidates too.
+        let g = n.add_gate(CellKind::Not, &[a]);
+        assert_eq!(n.fanouts().of(a), [g]);
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl Placement {
             {
                 order.push(id);
             }
-            for &c in &fanouts[id.index()] {
+            for &c in fanouts.of(id) {
                 if !visited[c.index()] {
                     queue.push_back(c);
                 }

@@ -67,20 +67,26 @@ fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
         hardening: None,
     };
     for kernel in [CampaignKernel::Batched, CampaignKernel::Scalar] {
-        let opts = CampaignOptions::with_kernel(kernel);
-        let r = run_campaign_with(&runner, strategy, RUNS, SEED, &opts);
-        assert!(r.ssf.is_finite() && r.sample_variance.is_finite());
-        assert_eq!(
-            (r.ssf.to_bits(), r.sample_variance.to_bits()),
-            (golden_ssf, golden_var),
-            "{} ({kernel:?}): got ssf {} ({:#018x}), variance {:.6e} ({:#018x}) \
-             — if the sampling streams changed intentionally, re-record the goldens",
-            strategy.name(),
-            r.ssf,
-            r.ssf.to_bits(),
-            r.sample_variance,
-            r.sample_variance.to_bits(),
-        );
+        for fast_forward in [true, false] {
+            let opts = CampaignOptions {
+                fast_forward,
+                ..CampaignOptions::with_kernel(kernel)
+            };
+            let r = run_campaign_with(&runner, strategy, RUNS, SEED, &opts);
+            assert!(r.ssf.is_finite() && r.sample_variance.is_finite());
+            assert_eq!(
+                (r.ssf.to_bits(), r.sample_variance.to_bits()),
+                (golden_ssf, golden_var),
+                "{} ({kernel:?}, fast_forward {fast_forward}): got ssf {} ({:#018x}), \
+                 variance {:.6e} ({:#018x}) \
+                 — if the sampling streams changed intentionally, re-record the goldens",
+                strategy.name(),
+                r.ssf,
+                r.ssf.to_bits(),
+                r.sample_variance,
+                r.sample_variance.to_bits(),
+            );
+        }
     }
     // Tracing must be a pure observer: the same campaign run with span
     // recording and provenance capture enabled reproduces the golden bits.
