@@ -19,14 +19,19 @@
 //!    lane assignment.
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use xlmc_fault::{AttackSample, LaneStrikes};
-use xlmc_gatesim::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, CycleValues, LANES};
+use xlmc_gatesim::{
+    BatchLane, BatchStrikeOutcome, BatchTransientScratch, CompiledStrikeOutcome,
+    CompiledTransientScratch, CycleValues, StrikeOutcome, TransientScratch, WideMask, LANES,
+    WIDE_LANES,
+};
 use xlmc_netlist::GateId;
 use xlmc_soc::MpuBit;
 
-use crate::estimator::{fold_run, ChunkPartial, RunObs};
-use crate::fastforward::{FastForwardStats, RtlFastForward, SharedConclusionMemo};
+use crate::estimator::{fold_run, CampaignKernel, ChunkPartial, RunObs};
+use crate::fastforward::{ConclusionFront, FastForwardStats, RtlFastForward, SharedConclusionMemo};
 use crate::flow::{FaultRunner, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
@@ -123,6 +128,11 @@ pub(crate) struct BatchChunkScratch {
     faulty_bits: Vec<MpuBit>,
     records: Vec<RunRecord>,
     ff: RtlFastForward,
+    /// Per-worker unlocked mirror of the shared conclusion memo.
+    front: ConclusionFront,
+    /// Compiled-kernel buffers (used by [`run_chunk_compiled`] only).
+    ctransient: CompiledTransientScratch,
+    cstrike_out: CompiledStrikeOutcome,
 }
 
 impl BatchChunkScratch {
@@ -135,6 +145,11 @@ impl BatchChunkScratch {
     /// The fast-forward counters accumulated by chunks on this scratch.
     pub(crate) fn fast_forward_stats(&self) -> FastForwardStats {
         self.ff.stats()
+    }
+
+    /// `(front hits, shared-memo fallbacks)` of this worker's memo front.
+    pub(crate) fn memo_front_stats(&self) -> (u64, u64) {
+        self.front.contention_stats()
     }
 }
 
@@ -154,6 +169,55 @@ impl BatchChunkScratch {
         let r = &self.records[i];
         (r.success, r.class, r.analytic, &r.bits, self.draws[i].w)
     }
+}
+
+/// Phase 1 shared by both packed kernels: scalar draws identical to the
+/// scalar engine, then stratification by injection cycle. Same-frame runs
+/// share batches (fewer value groups per batch), and the `(T_e, index)`
+/// sort key keeps the grouping a pure function of the chunk contents —
+/// independent of threads and lane assignment.
+fn draw_and_stratify(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut BatchChunkScratch,
+) {
+    let m = end - start;
+    scratch.draws.clear();
+    scratch.te.clear();
+    scratch.order.clear();
+    if scratch.records.len() < m {
+        scratch.records.resize_with(m, RunRecord::empty);
+    }
+    let golden_cycles = runner.eval.golden.cycles;
+    for i in 0..m {
+        let mut rng = SplitMix64::for_run(seed, (start + i) as u64);
+        let sample = strategy.draw(&mut rng);
+        let w = strategy.weight(&sample);
+        let te = sample
+            .injection_cycle(runner.eval.target_cycle)
+            .filter(|&te| te < golden_cycles);
+        match te {
+            Some(_) => scratch.order.push(i as u32),
+            None => {
+                // Out-of-run: masked without a strike, like the scalar path.
+                let rec = &mut scratch.records[i];
+                rec.success = false;
+                rec.class = StrikeClass::Masked;
+                rec.analytic = false;
+                rec.bits.clear();
+                rec.pulses = 0;
+            }
+        }
+        scratch.te.push(te);
+        scratch.draws.push(RunDraw { sample, w, rng });
+    }
+    let te = &scratch.te;
+    scratch
+        .order
+        .sort_unstable_by_key(|&i| (te[i as usize].unwrap(), i));
 }
 
 /// Execute runs `start..end` through the 64-lane batched kernel.
@@ -179,49 +243,9 @@ pub(crate) fn run_chunk_batched(
 ) -> ChunkPartial {
     ctr.begin_chunk();
     let m = end - start;
-    scratch.draws.clear();
-    scratch.te.clear();
-    scratch.order.clear();
-    if scratch.records.len() < m {
-        scratch.records.resize_with(m, RunRecord::empty);
-    }
-
-    // Phase 1: scalar draws, identical to the scalar engine.
     let draw_span = sink.span_on(tid, "chunk", "draw");
-    let golden_cycles = runner.eval.golden.cycles;
-    for i in 0..m {
-        let mut rng = SplitMix64::for_run(seed, (start + i) as u64);
-        let sample = strategy.draw(&mut rng);
-        let w = strategy.weight(&sample);
-        let te = sample
-            .injection_cycle(runner.eval.target_cycle)
-            .filter(|&te| te < golden_cycles);
-        match te {
-            Some(_) => scratch.order.push(i as u32),
-            None => {
-                // Out-of-run: masked without a strike, like the scalar path.
-                let rec = &mut scratch.records[i];
-                rec.success = false;
-                rec.class = StrikeClass::Masked;
-                rec.analytic = false;
-                rec.bits.clear();
-                rec.pulses = 0;
-            }
-        }
-        scratch.te.push(te);
-        scratch.draws.push(RunDraw { sample, w, rng });
-    }
+    draw_and_stratify(runner, strategy, seed, start, end, scratch);
     drop(draw_span);
-
-    // Stratify: same-frame runs share batches (fewer value groups per
-    // batch), and the `(T_e, index)` key keeps the grouping a pure function
-    // of the chunk contents — independent of threads and lane assignment.
-    {
-        let te = &scratch.te;
-        scratch
-            .order
-            .sort_unstable_by_key(|&i| (te[i as usize].unwrap(), i));
-    }
 
     // Phase 2 + 3: strike each batch in one packed pass, conclude per lane.
     let period = runner.model.transient.config().clock_period_ps;
@@ -290,6 +314,7 @@ pub(crate) fn run_chunk_batched(
                 &mut scratch.faulty_bits,
                 &mut scratch.ff,
                 memo,
+                Some(&mut scratch.front),
             );
             let rec = &mut scratch.records[ri];
             rec.success = view.success;
@@ -304,6 +329,18 @@ pub(crate) fn run_chunk_batched(
     // Fold in run-index order: the Welford push sequence — and the counter
     // fold — must match the scalar engine exactly.
     let _fold_span = sink.span_on(tid, "chunk", "fold");
+    fold_records(scratch, ctr, start, m, kc, record_provenance)
+}
+
+/// Fold the chunk's buffered records into a partial, in run-index order.
+fn fold_records(
+    scratch: &mut BatchChunkScratch,
+    ctr: &mut CounterScratch,
+    start: usize,
+    m: usize,
+    kc: KernelCounters,
+    record_provenance: bool,
+) -> ChunkPartial {
     let mut p = ChunkPartial {
         kernel_counters: kc,
         ..ChunkPartial::default()
@@ -328,6 +365,338 @@ pub(crate) fn run_chunk_batched(
         );
     }
     p
+}
+
+/// Execute runs `start..end` through the 256-wide compiled-program kernel.
+///
+/// Identical phase structure to [`run_chunk_batched`], but the strike
+/// phase packs up to [`WIDE_LANES`] runs per sweep of the netlist's
+/// levelized [`GateProgram`](xlmc_netlist::GateProgram) — a straight-line
+/// opcode loop over flat arrays instead of per-cell worklist dispatch.
+/// Per-run results, counters and the fold order are bit-identical to both
+/// other kernels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chunk_compiled(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut BatchChunkScratch,
+    cycles: &SharedCycleCache,
+    memo: &SharedConclusionMemo,
+    ctr: &mut CounterScratch,
+    record_provenance: bool,
+    sink: &TraceSink,
+    tid: u32,
+) -> ChunkPartial {
+    ctr.begin_chunk();
+    let m = end - start;
+    let draw_span = sink.span_on(tid, "chunk", "draw");
+    draw_and_stratify(runner, strategy, seed, start, end, scratch);
+    drop(draw_span);
+
+    let period = runner.model.transient.config().clock_period_ps;
+    let netlist = runner.model.mpu.netlist();
+    let program = netlist
+        .program()
+        .expect("model netlist was levelized at construction");
+    let mut kc = KernelCounters::default();
+    for batch in scratch.order.chunks(WIDE_LANES) {
+        let strike_span = sink.span_on(tid, "chunk", "strike");
+        scratch.lane_strikes.clear();
+        for &ri in batch {
+            scratch.lane_strikes.push_sample(
+                &scratch.draws[ri as usize].sample,
+                &runner.model.placement,
+                period,
+            );
+        }
+        // Consecutive-`T_e` lane groups as 256-wide masks (the stratify
+        // sort made equal cycles contiguous).
+        let mut groups: Vec<(WideMask, &CycleValues)> = Vec::new();
+        let mut cur_te = scratch.te[batch[0] as usize].unwrap();
+        let mut mask: WideMask = [0; 4];
+        for (lane, &ri) in batch.iter().enumerate() {
+            let te = scratch.te[ri as usize].unwrap();
+            if te != cur_te {
+                groups.push((mask, cycles.get(runner, cur_te)));
+                cur_te = te;
+                mask = [0; 4];
+            }
+            mask[lane / 64] |= 1u64 << (lane % 64);
+        }
+        groups.push((mask, cycles.get(runner, cur_te)));
+        let lanes: Vec<BatchLane<'_>> = (0..batch.len())
+            .map(|l| BatchLane {
+                struck: scratch.lane_strikes.struck(l),
+                strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
+            })
+            .collect();
+        runner.model.transient.strike_compiled_with(
+            netlist,
+            program,
+            &groups,
+            &lanes,
+            &mut scratch.ctransient,
+            &mut scratch.cstrike_out,
+        );
+        drop(lanes);
+        kc.lane_batches += 1;
+        kc.lanes_occupied += batch.len();
+        kc.frame_groups += groups.len();
+        kc.gates_visited += scratch.cstrike_out.gates_visited();
+        drop(strike_span);
+
+        let _conclude_span = sink.span_on(tid, "chunk", "conclude");
+        for (lane, &ri) in batch.iter().enumerate() {
+            let ri = ri as usize;
+            let te = scratch.te[ri].unwrap();
+            scratch
+                .cstrike_out
+                .faulty_registers_into(lane, &mut scratch.faulty_regs);
+            scratch.faulty_bits.clear();
+            scratch.faulty_bits.extend(
+                scratch
+                    .faulty_regs
+                    .iter()
+                    .filter_map(|&d| runner.model.mpu.bit_of(d)),
+            );
+            let view = runner.conclude_with(
+                te,
+                &mut scratch.draws[ri].rng,
+                &mut scratch.faulty_bits,
+                &mut scratch.ff,
+                memo,
+                Some(&mut scratch.front),
+            );
+            let rec = &mut scratch.records[ri];
+            rec.success = view.success;
+            rec.class = view.class;
+            rec.analytic = view.analytic;
+            rec.bits.clear();
+            rec.bits.extend_from_slice(view.faulty_bits);
+            rec.pulses = scratch.cstrike_out.pulses_propagated(lane);
+        }
+    }
+
+    // Fold in run-index order, exactly like the other kernels.
+    let _fold_span = sink.span_on(tid, "chunk", "fold");
+    fold_records(scratch, ctr, start, m, kc, record_provenance)
+}
+
+/// One gate-level-path measurement: the strike phase alone — stratified
+/// lane batches through the selected kernel — with the draw, conclude and
+/// fold phases (which are kernel-invariant) excluded. This is what the
+/// compiled-kernel speedup claim is about; end-to-end campaign throughput
+/// dilutes it with per-run scalar work every kernel pays identically.
+#[derive(Debug, Clone, Copy)]
+pub struct GatePathBench {
+    /// In-run lanes struck per pass over the drawn set.
+    pub lanes: usize,
+    /// Kernel sweeps per pass.
+    pub sweeps: usize,
+    /// Wall time of the fastest timed pass.
+    pub best_pass_s: f64,
+    /// Checksum: pulses propagated in one pass (kernel-invariant).
+    pub pulses: u64,
+    /// Checksum: faulty registers of one pass, summed over `id + 1`
+    /// (kernel-invariant; latched and upset DFFs both count).
+    pub faulty: u64,
+}
+
+impl GatePathBench {
+    /// Strike-kernel throughput in lanes (runs) per second.
+    pub fn lanes_per_sec(&self) -> f64 {
+        self.lanes as f64 / self.best_pass_s
+    }
+}
+
+/// Benchmark the gate-level path of `kernel`: draw and stratify `runs`
+/// samples once (seeded exactly like a campaign chunk), warm the shared
+/// cycle-value cache and the kernel scratch with one untimed pass, then
+/// time `passes` strike-only passes and keep the fastest (interference on
+/// a shared host only ever slows a pass down).
+pub fn gate_path_bench(
+    runner: &FaultRunner<'_>,
+    strategy: &dyn SamplingStrategy,
+    runs: usize,
+    seed: u64,
+    kernel: CampaignKernel,
+    passes: usize,
+) -> GatePathBench {
+    let mut scratch = BatchChunkScratch::default();
+    draw_and_stratify(runner, strategy, seed, 0, runs, &mut scratch);
+    let cycles = SharedCycleCache::new(runner.eval.golden.cycles);
+    for &ri in &scratch.order {
+        cycles.get(runner, scratch.te[ri as usize].unwrap());
+    }
+
+    let period = runner.model.transient.config().clock_period_ps;
+    let netlist = runner.model.mpu.netlist();
+    let mut stransient = TransientScratch::default();
+    let mut sout = StrikeOutcome::default();
+    let mut faulty_regs: Vec<GateId> = Vec::new();
+    let mut bench = GatePathBench {
+        lanes: scratch.order.len(),
+        sweeps: 0,
+        best_pass_s: f64::INFINITY,
+        pulses: 0,
+        faulty: 0,
+    };
+
+    let mut pass = |scratch: &mut BatchChunkScratch, checksum: Option<&mut GatePathBench>| {
+        let mut sweeps = 0usize;
+        let mut pulses = 0u64;
+        let mut faulty = 0u64;
+        match kernel {
+            CampaignKernel::Scalar => {
+                for &ri in &scratch.order {
+                    let ri = ri as usize;
+                    let te = scratch.te[ri].unwrap();
+                    scratch.lane_strikes.clear();
+                    scratch.lane_strikes.push_sample(
+                        &scratch.draws[ri].sample,
+                        &runner.model.placement,
+                        period,
+                    );
+                    runner.model.transient.strike_with(
+                        netlist,
+                        cycles.get(runner, te),
+                        scratch.lane_strikes.struck(0),
+                        scratch.lane_strikes.strike_time_ps(0),
+                        &mut stransient,
+                        &mut sout,
+                    );
+                    sweeps += 1;
+                    pulses += sout.pulses_propagated as u64;
+                    sout.faulty_registers_into(&mut faulty_regs);
+                    faulty += faulty_regs
+                        .iter()
+                        .map(|g| g.index() as u64 + 1)
+                        .sum::<u64>();
+                }
+            }
+            CampaignKernel::Batched => {
+                for batch in scratch.order.chunks(LANES) {
+                    scratch.lane_strikes.clear();
+                    for &ri in batch {
+                        scratch.lane_strikes.push_sample(
+                            &scratch.draws[ri as usize].sample,
+                            &runner.model.placement,
+                            period,
+                        );
+                    }
+                    let mut groups: Vec<(u64, &CycleValues)> = Vec::new();
+                    let mut cur_te = scratch.te[batch[0] as usize].unwrap();
+                    let mut mask = 0u64;
+                    for (lane, &ri) in batch.iter().enumerate() {
+                        let te = scratch.te[ri as usize].unwrap();
+                        if te != cur_te {
+                            groups.push((mask, cycles.get(runner, cur_te)));
+                            cur_te = te;
+                            mask = 0;
+                        }
+                        mask |= 1u64 << lane;
+                    }
+                    groups.push((mask, cycles.get(runner, cur_te)));
+                    let lanes: Vec<BatchLane<'_>> = (0..batch.len())
+                        .map(|l| BatchLane {
+                            struck: scratch.lane_strikes.struck(l),
+                            strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
+                        })
+                        .collect();
+                    runner.model.transient.strike_batch_with(
+                        netlist,
+                        &groups,
+                        &lanes,
+                        &mut scratch.transient,
+                        &mut scratch.strike_out,
+                    );
+                    drop(lanes);
+                    sweeps += 1;
+                    for lane in 0..batch.len() {
+                        pulses += scratch.strike_out.pulses_propagated(lane) as u64;
+                        scratch
+                            .strike_out
+                            .faulty_registers_into(lane, &mut faulty_regs);
+                        faulty += faulty_regs
+                            .iter()
+                            .map(|g| g.index() as u64 + 1)
+                            .sum::<u64>();
+                    }
+                }
+            }
+            CampaignKernel::Compiled => {
+                let program = netlist
+                    .program()
+                    .expect("model netlist was levelized at construction");
+                for batch in scratch.order.chunks(WIDE_LANES) {
+                    scratch.lane_strikes.clear();
+                    for &ri in batch {
+                        scratch.lane_strikes.push_sample(
+                            &scratch.draws[ri as usize].sample,
+                            &runner.model.placement,
+                            period,
+                        );
+                    }
+                    let mut groups: Vec<(WideMask, &CycleValues)> = Vec::new();
+                    let mut cur_te = scratch.te[batch[0] as usize].unwrap();
+                    let mut mask: WideMask = [0; 4];
+                    for (lane, &ri) in batch.iter().enumerate() {
+                        let te = scratch.te[ri as usize].unwrap();
+                        if te != cur_te {
+                            groups.push((mask, cycles.get(runner, cur_te)));
+                            cur_te = te;
+                            mask = [0; 4];
+                        }
+                        mask[lane / 64] |= 1u64 << (lane % 64);
+                    }
+                    groups.push((mask, cycles.get(runner, cur_te)));
+                    let lanes: Vec<BatchLane<'_>> = (0..batch.len())
+                        .map(|l| BatchLane {
+                            struck: scratch.lane_strikes.struck(l),
+                            strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
+                        })
+                        .collect();
+                    runner.model.transient.strike_compiled_with(
+                        netlist,
+                        program,
+                        &groups,
+                        &lanes,
+                        &mut scratch.ctransient,
+                        &mut scratch.cstrike_out,
+                    );
+                    drop(lanes);
+                    sweeps += 1;
+                    for lane in 0..batch.len() {
+                        pulses += scratch.cstrike_out.pulses_propagated(lane) as u64;
+                        scratch
+                            .cstrike_out
+                            .faulty_registers_into(lane, &mut faulty_regs);
+                        faulty += faulty_regs
+                            .iter()
+                            .map(|g| g.index() as u64 + 1)
+                            .sum::<u64>();
+                    }
+                }
+            }
+        }
+        if let Some(b) = checksum {
+            b.sweeps = sweeps;
+            b.pulses = pulses;
+            b.faulty = faulty;
+        }
+    };
+
+    // Untimed warmup: sizes every scratch buffer and fills the checksums.
+    pass(&mut scratch, Some(&mut bench));
+    for _ in 0..passes {
+        let start = Instant::now();
+        pass(&mut scratch, None);
+        bench.best_pass_s = bench.best_pass_s.min(start.elapsed().as_secs_f64());
+    }
+    bench
 }
 
 #[cfg(test)]
@@ -504,6 +873,141 @@ mod tests {
             // The chunk-local counter model is kernel-invariant too.
             assert_eq!(b.counters, s.counters, "len {len}");
             assert_eq!(b.first_success, s.first_success, "len {len}");
+        }
+    }
+
+    /// The 256-wide compiled kernel reproduces the scalar engine run by
+    /// run on *all three* attack workloads (each exercises a different
+    /// target register cone), with and without hardening.
+    #[test]
+    fn compiled_chunk_runs_match_scalar_runs_across_workloads() {
+        let model = SystemModel::with_defaults().unwrap();
+        let cfg = ExperimentConfig {
+            t_max: 20,
+            ..Default::default()
+        };
+        let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+        let hardened = HardenedSet::new(
+            [xlmc_soc::MpuBit::Violation, xlmc_soc::MpuBit::Enable],
+            HardeningModel::default(),
+        );
+        for workload in [
+            workloads::illegal_write(),
+            workloads::illegal_read(),
+            workloads::dma_exfiltration(),
+        ] {
+            let eval = Evaluation::new(workload).unwrap();
+            for hardening in [None, Some(&hardened)] {
+                let runner = FaultRunner {
+                    model: &model,
+                    eval: &eval,
+                    prechar: &prechar,
+                    hardening,
+                };
+                let strat = RandomSampling::new(baseline_distribution(&model, &cfg));
+                let seed = 41u64;
+                // 300 runs crosses the 256-lane boundary.
+                let n = 300;
+                let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+                let memo = SharedConclusionMemo::default();
+                let mut cscratch = BatchChunkScratch::default();
+                let mut ctr = CounterScratch::default();
+                let sink = TraceSink::disabled();
+                run_chunk_compiled(
+                    &runner,
+                    &strat,
+                    seed,
+                    0,
+                    n,
+                    &mut cscratch,
+                    &cache,
+                    &memo,
+                    &mut ctr,
+                    false,
+                    &sink,
+                    0,
+                );
+                let mut flow = FlowScratch::default();
+                for i in 0..n {
+                    let mut rng = SplitMix64::for_run(seed, i as u64);
+                    let sample = strat.draw(&mut rng);
+                    let w = strat.weight(&sample);
+                    let out = runner.run_with(&sample, &mut rng, &mut flow);
+                    let (cs, cc, ca, cbits, cw) = cscratch.recorded(i);
+                    let ctx = format!(
+                        "workload {} run {i} hardened {}",
+                        runner.eval.workload.name,
+                        hardening.is_some()
+                    );
+                    assert_eq!(cs, out.success, "{ctx}");
+                    assert_eq!(cc, out.class, "{ctx}");
+                    assert_eq!(ca, out.analytic, "{ctx}");
+                    assert_eq!(cbits, out.faulty_bits, "{ctx}");
+                    assert!(cw == w, "{ctx}: weight {cw} != {w}");
+                }
+            }
+        }
+    }
+
+    /// The compiled partial equals the scalar partial field by field at
+    /// every 256-lane tail shape (1/63/64/65/255/256/257).
+    #[test]
+    fn compiled_partial_matches_scalar_partial() {
+        let f = fixture();
+        let runner = FaultRunner {
+            model: &f.model,
+            eval: &f.eval,
+            prechar: &f.prechar,
+            hardening: None,
+        };
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+        let memo = SharedConclusionMemo::default();
+        let mut cscratch = BatchChunkScratch::default();
+        let mut flow = FlowScratch::default();
+        let mut ctr = CounterScratch::default();
+        let sink = TraceSink::disabled();
+        for (start, len) in [
+            (0usize, 1usize),
+            (1, 63),
+            (64, 64),
+            (128, 65),
+            (0, 255),
+            (7, 256),
+            (11, 257),
+        ] {
+            let c = run_chunk_compiled(
+                &runner,
+                &strat,
+                9,
+                start,
+                start + len,
+                &mut cscratch,
+                &cache,
+                &memo,
+                &mut ctr,
+                false,
+                &sink,
+                0,
+            );
+            let s = crate::estimator::scalar_chunk_for_tests(
+                &runner,
+                &strat,
+                9,
+                start,
+                start + len,
+                &mut flow,
+            );
+            assert_eq!(c.stats.count(), s.stats.count(), "len {len}");
+            assert!(c.stats.mean() == s.stats.mean(), "len {len} mean");
+            assert!(c.stats.variance() == s.stats.variance(), "len {len} var");
+            assert_eq!(c.class_counts, s.class_counts, "len {len}");
+            assert_eq!(c.analytic_runs, s.analytic_runs, "len {len}");
+            assert_eq!(c.rtl_runs, s.rtl_runs, "len {len}");
+            assert_eq!(c.successes, s.successes, "len {len}");
+            assert_eq!(c.attribution, s.attribution, "len {len}");
+            assert_eq!(c.counters, s.counters, "len {len}");
+            assert_eq!(c.first_success, s.first_success, "len {len}");
         }
     }
 }

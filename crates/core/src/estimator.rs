@@ -14,7 +14,8 @@
 //! observe the same merged prefix at a given chunk boundary regardless of
 //! the thread count or kernel.
 
-use crate::batch::{run_chunk_batched, BatchChunkScratch, SharedCycleCache};
+pub use crate::batch::{gate_path_bench, GatePathBench};
+use crate::batch::{run_chunk_batched, run_chunk_compiled, BatchChunkScratch, SharedCycleCache};
 use crate::fastforward::{FastForwardStats, SharedConclusionMemo};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
 use crate::rng::SplitMix64;
@@ -22,7 +23,7 @@ use crate::sampling::SamplingStrategy;
 use crate::stats::RunningStats;
 use crate::telemetry::{
     self, CampaignCheckpoint, CampaignObserver, MetricsMeta, NullObserver, ObserverAction,
-    ProgressEvent,
+    ProgramStats, ProgressEvent, SchedulerStats,
 };
 use crate::trace::{
     self, CampaignCounters, CounterScratch, KernelCounters, ProvenanceRecord, TraceSink,
@@ -166,18 +167,23 @@ impl CampaignResult {
 
 /// Which per-chunk executor the campaign engine uses.
 ///
-/// Both kernels produce bit-identical [`CampaignResult`]s (the lane
-/// batching is transparent down to the last `f64` ulp); `Batched` is the
-/// default because it amortizes each transient cone traversal over up to
-/// 64 runs.
+/// All kernels produce bit-identical [`CampaignResult`]s (the lane
+/// batching is transparent down to the last `f64` ulp); `Compiled` is the
+/// default because it amortizes each transient sweep over up to 256 runs
+/// through the levelized straight-line
+/// [`GateProgram`](xlmc_netlist::GateProgram) instead of per-cell
+/// worklist dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum CampaignKernel {
     /// One run at a time through [`FaultRunner::run_with`].
     Scalar,
     /// Up to 64 runs per packed transient pass
     /// (`TransientSim::strike_batch_with`).
-    #[default]
     Batched,
+    /// Up to 256 runs per compiled straight-line sweep
+    /// (`TransientSim::strike_compiled_with`).
+    #[default]
+    Compiled,
 }
 
 impl CampaignKernel {
@@ -186,6 +192,16 @@ impl CampaignKernel {
         match self {
             CampaignKernel::Scalar => "scalar",
             CampaignKernel::Batched => "batched",
+            CampaignKernel::Compiled => "compiled",
+        }
+    }
+
+    /// Monte Carlo runs packed per transient pass.
+    pub fn lane_width(&self) -> usize {
+        match self {
+            CampaignKernel::Scalar => 1,
+            CampaignKernel::Batched => xlmc_gatesim::LANES,
+            CampaignKernel::Compiled => xlmc_gatesim::WIDE_LANES,
         }
     }
 }
@@ -295,15 +311,15 @@ impl CampaignOptions {
             "campaign engine flags (shared by every figure/bench binary):\n",
             "  --threads N|auto       worker threads; 0 or \"auto\" = one per core\n",
             "                         (default 1)\n",
-            "  --kernel scalar|batched\n",
-            "                         per-chunk executor (default batched); results\n",
-            "                         are bit-identical under either\n",
+            "  --kernel scalar|batched|compiled\n",
+            "                         per-chunk executor (default compiled); results\n",
+            "                         are bit-identical under all three\n",
             "  --target-eps X         stop once the LLN bound at eps X drops to\n",
             "                         1 - confidence (checked at chunk boundaries)\n",
             "  --target-confidence C  confidence for --target-eps, in (0, 1)\n",
             "                         (default 0.95)\n",
             "  --metrics PATH         write the campaign metrics JSON\n",
-            "                         (xlmc-metrics-v2, schemas/metrics.schema.json)\n",
+            "                         (xlmc-metrics-v3, schemas/metrics.schema.json)\n",
             "  --fast-forward on|off  RTL fast-forward (exact-cycle snapshot cache +\n",
             "                         golden-reconvergence early exit); results are\n",
             "                         bit-identical either way (default on)\n",
@@ -323,7 +339,7 @@ impl CampaignOptions {
     }
 
     /// Parse the engine flags — `--threads N|auto`, `--kernel
-    /// scalar|batched`, `--target-eps X`, `--target-confidence C`,
+    /// scalar|batched|compiled`, `--target-eps X`, `--target-confidence C`,
     /// `--metrics PATH`, `--checkpoint PATH`, `--checkpoint-every N`,
     /// `--trace PATH`, `--replay N`, `--fast-forward on|off` (each also
     /// accepting the `--flag=value` spelling) — from an argument list,
@@ -437,6 +453,7 @@ impl CampaignOptions {
         match v {
             "scalar" => self.kernel = CampaignKernel::Scalar,
             "batched" => self.kernel = CampaignKernel::Batched,
+            "compiled" => self.kernel = CampaignKernel::Compiled,
             other => eprintln!("ignoring unknown --kernel value {other:?}"),
         }
     }
@@ -935,14 +952,20 @@ pub fn run_campaign_observed(
     // Schedule-dependent fast-forward counters, folded in from every worker
     // scratch at thread exit; they surface in the metrics JSON only.
     let ff_total = Mutex::new(FastForwardStats::default());
+    // Conclusion-memo front totals (hits, shared fallbacks), same lifecycle.
+    let front_total = Mutex::new((0u64, 0u64));
+    // Merge-path scheduling observability; all schedule-dependent.
+    let mut merge_wait_s = 0.0f64;
+    let mut reorder_peak = 0usize;
+    let mut workers = 0usize;
     if start_chunk < chunks {
         let threads = options.effective_threads().clamp(1, chunks - start_chunk);
         // Workers of the batched kernel share one lazily-filled cycle-value
         // cache (the values are a pure function of the injection cycle), so
         // adding threads no longer multiplies the warmup work.
         let cycle_cache = match options.kernel {
-            CampaignKernel::Batched => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
             CampaignKernel::Scalar => None,
+            _ => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
         };
         // All workers share one conclusion memo: the verdict is a pure
         // function of `(T_e, post-hardening bits)`, so a pattern concluded
@@ -960,8 +983,8 @@ pub fn run_campaign_observed(
          -> ChunkPartial {
             let (start, end) = chunk_bounds(c);
             let _span = sink.span_args(tid, "campaign", "chunk", &[("chunk", c as f64)]);
-            match &cycle_cache {
-                Some(cache) => run_chunk_batched(
+            match (options.kernel, &cycle_cache) {
+                (CampaignKernel::Compiled, Some(cache)) => run_chunk_compiled(
                     runner,
                     strategy,
                     seed,
@@ -975,7 +998,21 @@ pub fn run_campaign_observed(
                     sink,
                     tid,
                 ),
-                None => run_chunk(
+                (_, Some(cache)) => run_chunk_batched(
+                    runner,
+                    strategy,
+                    seed,
+                    start,
+                    end,
+                    batch,
+                    cache,
+                    memo,
+                    ctr,
+                    record_provenance,
+                    sink,
+                    tid,
+                ),
+                (_, None) => run_chunk(
                     runner,
                     strategy,
                     seed,
@@ -988,14 +1025,22 @@ pub fn run_campaign_observed(
                 ),
             }
         };
+        let front_total = &front_total;
         let fold_ff = |flow: &FlowScratch, batch: &BatchChunkScratch| {
             let mut total = ff_total
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             total.add(&flow.fast_forward_stats());
             total.add(&batch.fast_forward_stats());
+            let (h, m) = batch.memo_front_stats();
+            let mut ft = front_total
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            ft.0 += h;
+            ft.1 += m;
         };
 
+        workers = threads;
         if threads <= 1 {
             let mut flow = FlowScratch::default();
             let mut batch = BatchChunkScratch::default();
@@ -1060,8 +1105,11 @@ pub fn run_campaign_observed(
                 // merge cursor; folds always happen in chunk order.
                 let mut pending: BTreeMap<usize, ChunkPartial> = BTreeMap::new();
                 'merge: while state.merged_chunks < chunks {
+                    let wait = Instant::now();
                     let Ok((c, p)) = rx.recv() else { break };
+                    merge_wait_s += wait.elapsed().as_secs_f64();
                     pending.insert(c, p);
+                    reorder_peak = reorder_peak.max(pending.len());
                     while let Some(mut p) = pending.remove(&state.merged_chunks) {
                         let end = chunk_bounds(state.merged_chunks).1;
                         let prov = std::mem::take(&mut p.provenance);
@@ -1091,6 +1139,28 @@ pub fn run_campaign_observed(
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     fast_forward.enabled = options.fast_forward;
+    let (front_hits, front_misses) = front_total
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let scheduler = SchedulerStats {
+        workers,
+        merge_wait_s,
+        reorder_peak,
+        memo_front_hits: front_hits,
+        memo_front_misses: front_misses,
+    };
+    let program = match runner.model.mpu.netlist().program() {
+        Ok(p) => ProgramStats {
+            levels: p.levels(),
+            gates: p.len(),
+            lane_width: options.kernel.lane_width(),
+            sweeps: state.kernel_counters.lane_batches,
+        },
+        Err(_) => ProgramStats {
+            lane_width: options.kernel.lane_width(),
+            ..ProgramStats::default()
+        },
+    };
     let meta = MetricsMeta {
         seed,
         requested_runs: n,
@@ -1106,6 +1176,9 @@ pub fn run_campaign_observed(
             .map(|p| p.get())
             .unwrap_or(1),
         fast_forward,
+        kernel: options.kernel,
+        program,
+        scheduler,
     };
     let result = state.into_result(strategy.name(), stop, options.trace_points);
     observer.on_finish(&result);
@@ -1159,6 +1232,23 @@ pub fn run_campaign_observed(
             ff.cycles_skipped,
             ff.confirm_failures,
             ff.checkpoint_cache_evictions,
+        );
+        eprintln!(
+            "[kernel] {}: {} levels x {} gates, {} lanes/sweep, {} sweeps",
+            meta.kernel.as_arg(),
+            meta.program.levels,
+            meta.program.gates,
+            meta.program.lane_width,
+            meta.program.sweeps,
+        );
+        eprintln!(
+            "[scheduler] {} workers | merge wait {:.3}s | reorder peak {} | \
+             memo front hits {} / shared fallbacks {}",
+            meta.scheduler.workers,
+            meta.scheduler.merge_wait_s,
+            meta.scheduler.reorder_peak,
+            meta.scheduler.memo_front_hits,
+            meta.scheduler.memo_front_misses,
         );
         let ring: Vec<ProvenanceRecord> = ring.into_iter().collect();
         if let Err(e) = trace::write_trace(
@@ -1467,35 +1557,39 @@ mod tests {
                 17,
                 &CampaignOptions::with_kernel(CampaignKernel::Scalar),
             );
-            for threads in [1usize, 2, 4] {
-                let opts = CampaignOptions {
-                    threads,
-                    ..CampaignOptions::with_kernel(CampaignKernel::Batched)
-                };
-                let batched = run_campaign_with(&r, strat.as_ref(), 500, 17, &opts);
-                // Kernel-shape counters (lane occupancy, batch-wide
-                // worklist visits) legitimately differ between kernels;
-                // everything else must be bit-identical.
-                let mut batched = batched;
-                batched.kernel_counters = scalar.kernel_counters;
-                assert_eq!(
-                    scalar,
-                    batched,
-                    "strategy {} threads {threads}",
-                    strat.name()
-                );
+            for kernel in [CampaignKernel::Batched, CampaignKernel::Compiled] {
+                for threads in [1usize, 2, 4] {
+                    let opts = CampaignOptions {
+                        threads,
+                        ..CampaignOptions::with_kernel(kernel)
+                    };
+                    let packed = run_campaign_with(&r, strat.as_ref(), 500, 17, &opts);
+                    // Kernel-shape counters (lane occupancy, batch-wide
+                    // worklist visits) legitimately differ between kernels;
+                    // everything else must be bit-identical.
+                    let mut packed = packed;
+                    packed.kernel_counters = scalar.kernel_counters;
+                    assert_eq!(
+                        scalar,
+                        packed,
+                        "strategy {} kernel {kernel:?} threads {threads}",
+                        strat.name()
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn batched_kernel_handles_partial_tail_batches() {
-        // runs % 64 != 0 must not drop or duplicate runs: the batched
-        // result equals the scalar reference at every tail shape.
+    fn packed_kernels_handle_partial_tail_batches() {
+        // runs not divisible by the lane width must not drop or duplicate
+        // runs: each packed kernel equals the scalar reference at every
+        // tail shape (64-lane boundaries for batched, 256-lane boundaries
+        // for compiled, plus odd tails around both).
         let f = fixture();
         let r = runner(&f);
         let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
-        for n in [1usize, 63, 64, 65, 127, 128, 129, 191] {
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 191, 255, 256, 257] {
             let scalar = run_campaign_with(
                 &r,
                 &strat,
@@ -1503,30 +1597,29 @@ mod tests {
                 23,
                 &CampaignOptions::with_kernel(CampaignKernel::Scalar),
             );
-            let mut batched = run_campaign_with(
-                &r,
-                &strat,
-                n,
-                23,
-                &CampaignOptions::with_kernel(CampaignKernel::Batched),
-            );
             assert_eq!(scalar.n, n);
             assert_eq!(scalar.class_counts.total(), n, "n = {n}");
-            batched.kernel_counters = scalar.kernel_counters;
-            assert_eq!(scalar, batched, "n = {n}");
+            for kernel in [CampaignKernel::Batched, CampaignKernel::Compiled] {
+                let mut packed =
+                    run_campaign_with(&r, &strat, n, 23, &CampaignOptions::with_kernel(kernel));
+                packed.kernel_counters = scalar.kernel_counters;
+                assert_eq!(scalar, packed, "kernel {kernel:?} n = {n}");
+            }
         }
     }
 
     #[test]
     fn kernel_arg_parses() {
         let mut opts = CampaignOptions::default();
-        assert_eq!(opts.kernel, CampaignKernel::Batched);
+        assert_eq!(opts.kernel, CampaignKernel::Compiled);
         opts.set_kernel_arg("scalar");
         assert_eq!(opts.kernel, CampaignKernel::Scalar);
         opts.set_kernel_arg("batched");
         assert_eq!(opts.kernel, CampaignKernel::Batched);
+        opts.set_kernel_arg("compiled");
+        assert_eq!(opts.kernel, CampaignKernel::Compiled);
         opts.set_kernel_arg("bogus");
-        assert_eq!(opts.kernel, CampaignKernel::Batched);
+        assert_eq!(opts.kernel, CampaignKernel::Compiled);
     }
 
     #[test]

@@ -468,6 +468,89 @@ impl SharedConclusionMemo {
     }
 }
 
+/// A per-worker, lock-free front for the [`SharedConclusionMemo`].
+///
+/// Probing the shared memo takes a shard mutex even when the pattern was
+/// concluded long ago; under multiple workers those acquisitions serialize
+/// on the hottest shards. The front is an unlocked per-worker mirror:
+/// probes hit it first, shared-memo hits are copied in, and fresh verdicts
+/// are recorded in both — so each worker pays the lock at most once per
+/// distinct `(te, bits)` pattern plus once per fresh conclusion. The
+/// verdict is a pure function of the key, so the mirror can never go
+/// stale and results stay bit-identical with or without it.
+#[derive(Debug, Default)]
+pub struct ConclusionFront {
+    fast: HashMap<u64, MemoEntry, BuildHasherDefault<PreHashed>>,
+    spill: HashMap<u64, Vec<MemoEntry>, BuildHasherDefault<PreHashed>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConclusionFront {
+    /// Probe the front, falling back to (and replenishing from) the shared
+    /// memo.
+    pub(crate) fn get_through(
+        &mut self,
+        shared: &SharedConclusionMemo,
+        hash: u64,
+        te: u64,
+        bits: &[MpuBit],
+    ) -> Option<Concluded> {
+        if let Some(entry) = self.fast.get(&hash) {
+            if entry.matches(te, bits) {
+                self.hits += 1;
+                return Some(entry.verdict);
+            }
+            if let Some(v) = self
+                .spill
+                .get(&hash)
+                .and_then(|l| l.iter().find(|e| e.matches(te, bits)))
+                .map(|e| e.verdict)
+            {
+                self.hits += 1;
+                return Some(v);
+            }
+        }
+        self.misses += 1;
+        let verdict = shared.get(hash, te, bits)?;
+        self.record(hash, te, bits, verdict);
+        Some(verdict)
+    }
+
+    /// Mirror a verdict into the front (same collision handling as the
+    /// shared memo's insert, minus the lock).
+    pub(crate) fn record(&mut self, hash: u64, te: u64, bits: &[MpuBit], verdict: Concluded) {
+        match self.fast.entry(hash) {
+            Entry::Vacant(e) => {
+                e.insert(MemoEntry {
+                    te,
+                    bits: bits.into(),
+                    verdict,
+                });
+            }
+            Entry::Occupied(e) => {
+                if e.get().matches(te, bits) {
+                    return;
+                }
+                let list = self.spill.entry(hash).or_default();
+                if !list.iter().any(|x| x.matches(te, bits)) {
+                    list.push(MemoEntry {
+                        te,
+                        bits: bits.into(),
+                        verdict,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `(front hits, shared-memo fallbacks)` — how many probes this worker
+    /// resolved without touching a shard mutex.
+    pub(crate) fn contention_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

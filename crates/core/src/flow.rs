@@ -17,7 +17,9 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::analytic::{self, AnalyticVerdict};
-use crate::fastforward::{self, FastForwardStats, RtlFastForward, SharedConclusionMemo};
+use crate::fastforward::{
+    self, ConclusionFront, FastForwardStats, RtlFastForward, SharedConclusionMemo,
+};
 use crate::harden::HardenedSet;
 use crate::lifetime::RegisterKind;
 use crate::model::{Evaluation, SystemModel};
@@ -324,7 +326,7 @@ impl FaultRunner<'_> {
         faulty_bits.extend(faulty_regs.iter().filter_map(|&d| self.model.mpu.bit_of(d)));
         let pulses = strike_out.pulses_propagated;
         let gates = strike_out.gates_visited;
-        let mut view = self.conclude_with(te, rng, faulty_bits, ff, memo);
+        let mut view = self.conclude_with(te, rng, faulty_bits, ff, memo, None);
         view.pulses_propagated = pulses;
         view.gates_visited = gates;
         view
@@ -366,7 +368,7 @@ impl FaultRunner<'_> {
     fn conclude(&self, te: u64, mut faulty_bits: Vec<MpuBit>, rng: &mut impl Rng) -> AttackOutcome {
         let mut ff = RtlFastForward::default();
         let memo = SharedConclusionMemo::default();
-        self.conclude_with(te, rng, &mut faulty_bits, &mut ff, &memo)
+        self.conclude_with(te, rng, &mut faulty_bits, &mut ff, &memo, None)
             .to_outcome()
     }
 
@@ -374,6 +376,10 @@ impl FaultRunner<'_> {
     ///
     /// RNG consumption (the hardening filter) happens *before* the memo key
     /// is formed, so caching never perturbs the per-run random stream.
+    /// `front`, when present, is a per-worker unlocked mirror of `memo`:
+    /// probes hit it first and fresh verdicts are recorded into both, so
+    /// repeat patterns skip the shard mutex. Because the verdict is a pure
+    /// function of `(T_e, bits)`, the mirror cannot change any result.
     pub(crate) fn conclude_with<'s>(
         &self,
         te: u64,
@@ -381,6 +387,7 @@ impl FaultRunner<'_> {
         faulty_bits: &'s mut Vec<MpuBit>,
         ff: &mut RtlFastForward,
         memo: &SharedConclusionMemo,
+        front: Option<&mut ConclusionFront>,
     ) -> RunView<'s> {
         if let Some(h) = self.hardening {
             faulty_bits.retain(|&b| h.flip_survives(b, rng));
@@ -398,7 +405,12 @@ impl FaultRunner<'_> {
         }
 
         let key = fastforward::key_hash(te, faulty_bits);
-        if let Some(c) = memo.get(key, te, faulty_bits) {
+        let mut front = front;
+        let hit = match front.as_deref_mut() {
+            Some(f) => f.get_through(memo, key, te, faulty_bits),
+            None => memo.get(key, te, faulty_bits),
+        };
+        if let Some(c) = hit {
             return RunView {
                 success: c.success,
                 class: c.class,
@@ -429,16 +441,15 @@ impl FaultRunner<'_> {
             },
             _ => (ff.resume(self.eval, te, faulty_bits), false),
         };
-        memo.insert(
-            key,
-            te,
-            faulty_bits,
-            Concluded {
-                success,
-                class,
-                analytic,
-            },
-        );
+        let verdict = Concluded {
+            success,
+            class,
+            analytic,
+        };
+        memo.insert(key, te, faulty_bits, verdict);
+        if let Some(f) = front {
+            f.record(key, te, faulty_bits, verdict);
+        }
         RunView {
             success,
             class,

@@ -587,6 +587,7 @@ impl CampaignCheckpoint {
         let kernel = match doc.get("kernel").and_then(JsonValue::as_str) {
             Some("scalar") => CampaignKernel::Scalar,
             Some("batched") => CampaignKernel::Batched,
+            Some("compiled") => CampaignKernel::Compiled,
             other => return Err(format!("invalid checkpoint kernel {other:?}")),
         };
         let stats_obj = doc.get("stats").ok_or("missing stats object")?;
@@ -703,8 +704,44 @@ impl CampaignCheckpoint {
 // ---------------------------------------------------------------------------
 
 /// The metrics format tag pinned by `schemas/metrics.schema.json`.
-/// `v2` added `host_cpus` and the `fast_forward` counter object.
-pub const METRICS_FORMAT: &str = "xlmc-metrics-v2";
+/// `v2` added `host_cpus` and the `fast_forward` counter object; `v3`
+/// added `kernel`, the `program` shape object and the `scheduler`
+/// contention object.
+pub const METRICS_FORMAT: &str = "xlmc-metrics-v3";
+
+/// Shape of the compiled gate program driving the campaign (all zeros
+/// when the model netlist could not be levelized — never the case for the
+/// built-in MPU).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProgramStats {
+    /// Combinational logic levels of the netlist.
+    pub levels: usize,
+    /// Straight-line ops (combinational gates incl. output markers).
+    pub gates: usize,
+    /// Monte Carlo runs packed per transient pass by the active kernel.
+    pub lane_width: usize,
+    /// Packed transient passes executed (merged `lane_batches`).
+    pub sweeps: usize,
+}
+
+/// Scheduling/contention observability for the multi-thread merge path —
+/// all schedule-dependent, which is why they live in the metrics meta and
+/// not in the thread-invariant [`CampaignResult`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Worker threads that executed chunks.
+    pub workers: usize,
+    /// Seconds the merger spent blocked on `recv` for the next partial.
+    pub merge_wait_s: f64,
+    /// Peak size of the chunk reorder buffer (partials ahead of the merge
+    /// cursor).
+    pub reorder_peak: usize,
+    /// Conclusion-memo probes answered by a worker-local front without
+    /// touching a shard mutex.
+    pub memo_front_hits: u64,
+    /// Probes that fell through to the locked shared memo.
+    pub memo_front_misses: u64,
+}
 
 /// Campaign-level context the metrics file records alongside the result.
 #[derive(Debug, Clone, Copy)]
@@ -727,6 +764,12 @@ pub struct MetricsMeta {
     /// RTL fast-forward counters (schedule-dependent — that is why they
     /// live here and not in the kernel/thread-invariant `CampaignResult`).
     pub fast_forward: FastForwardStats,
+    /// The `--kernel` spelling of the per-chunk executor.
+    pub kernel: CampaignKernel,
+    /// Shape of the compiled gate program / lane packing.
+    pub program: ProgramStats,
+    /// Merge-path scheduling and memo-contention observability.
+    pub scheduler: SchedulerStats,
 }
 
 /// Render the finished campaign as the metrics JSON document.
@@ -766,6 +809,25 @@ pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
     let _ = writeln!(s, "  \"elapsed_s\": {},", json_num(meta.elapsed_s));
     let _ = writeln!(s, "  \"runs_per_sec\": {},", json_num(meta.runs_per_sec));
     let _ = writeln!(s, "  \"host_cpus\": {},", meta.host_cpus);
+    let _ = writeln!(s, "  \"kernel\": \"{}\",", meta.kernel.as_arg());
+    let p = &meta.program;
+    let _ = writeln!(
+        s,
+        "  \"program\": {{\"levels\": {}, \"gates\": {}, \"lane_width\": {}, \
+         \"sweeps\": {}}},",
+        p.levels, p.gates, p.lane_width, p.sweeps,
+    );
+    let sc = &meta.scheduler;
+    let _ = writeln!(
+        s,
+        "  \"scheduler\": {{\"workers\": {}, \"merge_wait_s\": {}, \"reorder_peak\": {}, \
+         \"memo_front_hits\": {}, \"memo_front_misses\": {}}},",
+        sc.workers,
+        json_num(sc.merge_wait_s),
+        sc.reorder_peak,
+        sc.memo_front_hits,
+        sc.memo_front_misses,
+    );
     let ff = &meta.fast_forward;
     let _ = writeln!(
         s,
@@ -1014,6 +1076,20 @@ mod tests {
                 confirm_failures: 1,
                 cycles_skipped: 4321,
             },
+            kernel: CampaignKernel::Compiled,
+            program: ProgramStats {
+                levels: 9,
+                gates: 321,
+                lane_width: 256,
+                sweeps: 4,
+            },
+            scheduler: SchedulerStats {
+                workers: 2,
+                merge_wait_s: 0.25,
+                reorder_peak: 3,
+                memo_front_hits: 10,
+                memo_front_misses: 14,
+            },
         };
         let doc = JsonValue::parse(&metrics_json(&result, &meta)).unwrap();
         assert_eq!(
@@ -1032,6 +1108,22 @@ mod tests {
         );
         assert!(doc.get("counters").and_then(|c| c.get("kernel")).is_some());
         assert_eq!(doc.get("host_cpus").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(
+            doc.get("kernel").and_then(JsonValue::as_str),
+            Some("compiled")
+        );
+        let prog = doc.get("program").unwrap();
+        assert_eq!(prog.get("levels").and_then(JsonValue::as_u64), Some(9));
+        assert_eq!(
+            prog.get("lane_width").and_then(JsonValue::as_u64),
+            Some(256)
+        );
+        let sched = doc.get("scheduler").unwrap();
+        assert_eq!(sched.get("workers").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            sched.get("memo_front_misses").and_then(JsonValue::as_u64),
+            Some(14)
+        );
         let ff = doc.get("fast_forward").unwrap();
         assert_eq!(ff.get("enabled"), Some(&JsonValue::Bool(true)));
         assert_eq!(ff.get("early_exits").and_then(JsonValue::as_u64), Some(11));

@@ -8,7 +8,7 @@
 //! sweep with word-wide boolean operations produces the packed traces of
 //! every other node — 64 cycles per instruction.
 
-use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError, Topology};
+use xlmc_netlist::{CellKind, GateId, Netlist, NetlistError};
 
 /// Packed per-cycle value traces for every gate of a netlist.
 ///
@@ -100,7 +100,10 @@ pub fn evaluate_combinational(
     netlist: &Netlist,
     traces: &mut PackedTraces,
 ) -> Result<(), NetlistError> {
-    let topo = Topology::new(netlist)?;
+    // The cached straight-line program replaces per-gate worklist
+    // dispatch: one flat opcode loop in topological order, no per-word
+    // fanin allocation.
+    let program = netlist.program()?;
     // Constants first.
     for (id, gate) in netlist.iter() {
         if let CellKind::Const(v) = gate.kind {
@@ -111,12 +114,17 @@ pub fn evaluate_combinational(
         }
     }
     let words = traces.words_per_gate;
-    for &id in topo.order() {
-        let gate = netlist.gate(id);
+    let mut ins: Vec<u64> = Vec::new();
+    for i in 0..program.len() {
+        let op = program.opcode(i);
+        let out = GateId(program.out(i) as u32);
         for w in 0..words {
-            let ins: Vec<u64> = gate.fanin.iter().map(|&f| traces.trace(f)[w]).collect();
-            let out = gate.kind.eval_words(&ins);
-            traces.trace_mut(id)[w] = out;
+            ins.clear();
+            for &f in program.fanins(i) {
+                ins.push(traces.trace(GateId(f))[w]);
+            }
+            let v = op.eval_words(&ins);
+            traces.trace_mut(out)[w] = v;
         }
     }
     Ok(())

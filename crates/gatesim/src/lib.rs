@@ -18,6 +18,10 @@
 //! * [`batch`] — the 64-lane batched form of [`transient`]: up to 64
 //!   independent strikes packed into `u64` lanes and propagated in one
 //!   worklist pass, bit-identical per lane to the scalar kernel,
+//! * [`compiled`] — the 256-lane compiled-program form of [`transient`]:
+//!   the netlist's levelized SoA [`xlmc_netlist::GateProgram`] evaluated
+//!   as a straight-line opcode loop with `[u64; 4]` lanes, bit-identical
+//!   per lane to the scalar kernel,
 //! * [`glitch`] — clock-glitch (timing-violation) fault modeling, the
 //!   second attack technique of the paper's holistic model.
 //!
@@ -45,6 +49,7 @@
 
 pub mod batch;
 pub mod bitparallel;
+pub mod compiled;
 pub mod cycle;
 pub mod glitch;
 pub mod signature;
@@ -52,6 +57,9 @@ pub mod sta;
 pub mod transient;
 
 pub use batch::{BatchLane, BatchStrikeOutcome, BatchTransientScratch, LANES};
+pub use compiled::{
+    CompiledStrikeOutcome, CompiledTransientScratch, WideMask, LANE_WORDS, WIDE_LANES,
+};
 pub use cycle::{CycleSim, CycleValues};
 pub use glitch::GlitchSim;
 pub use signature::{correlation, SwitchingSignature};

@@ -49,6 +49,7 @@ pub mod cell;
 pub mod cones;
 pub mod netlist;
 pub mod placement;
+pub mod program;
 pub mod topo;
 pub mod unroll;
 pub mod verilog;
@@ -58,6 +59,7 @@ pub use cell::CellKind;
 pub use cones::{Cone, ConeSet};
 pub use netlist::{Gate, GateId, Netlist, NetlistError, NetlistStats};
 pub use placement::{Placement, Point};
+pub use program::{GateProgram, NetClass, Opcode};
 pub use topo::Topology;
 pub use unroll::{UnrolledNetlist, UnrolledRef};
 pub use verilog::{from_verilog, to_verilog};

@@ -1,6 +1,7 @@
 //! The gate graph: gates, nets, names and validation.
 
 use crate::cell::CellKind;
+use crate::program::GateProgram;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -109,6 +110,8 @@ pub struct Netlist {
     dffs: Vec<GateId>,
     /// Lazily built fanout adjacency; invalidated by any mutation.
     fanout_cache: OnceLock<FanoutAdjacency>,
+    /// Lazily compiled straight-line program; invalidated by any mutation.
+    program_cache: OnceLock<Result<GateProgram, NetlistError>>,
 }
 
 /// Compressed-sparse-row fanout adjacency of a [`Netlist`].
@@ -225,6 +228,7 @@ impl Netlist {
 
     fn push(&mut self, gate: Gate) -> GateId {
         self.fanout_cache.take();
+        self.program_cache.take();
         let id = GateId(self.gates.len() as u32);
         if let Some(name) = &gate.name {
             // Last writer wins is surprising; keep first and panic in debug.
@@ -321,6 +325,7 @@ impl Netlist {
     /// Panics when `id` is out of range.
     pub fn set_fanin(&mut self, id: GateId, fanin: Vec<GateId>) {
         self.fanout_cache.take();
+        self.program_cache.take();
         self.gates[id.index()].fanin = fanin;
     }
 
@@ -332,6 +337,23 @@ impl Netlist {
     pub fn fanouts(&self) -> &FanoutAdjacency {
         self.fanout_cache
             .get_or_init(|| FanoutAdjacency::build(self))
+    }
+
+    /// The compiled straight-line program of the combinational logic.
+    ///
+    /// Built on first use and cached on the netlist with the same
+    /// invalidation discipline as [`Netlist::fanouts`]: every mutation
+    /// (`push`, [`Netlist::set_fanin`]) drops the cache, so the program a
+    /// kernel receives always reflects the current adjacency.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the combinational graph is cyclic.
+    pub fn program(&self) -> Result<&GateProgram, NetlistError> {
+        self.program_cache
+            .get_or_init(|| GateProgram::build(self))
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// Validate structural invariants: fanin ids in range, arities correct,
@@ -530,6 +552,40 @@ mod tests {
         // Adding a gate invalidates too.
         let g = n.add_gate(CellKind::Not, &[a]);
         assert_eq!(n.fanouts().of(a), [g]);
+    }
+
+    #[test]
+    fn program_cache_is_invalidated_by_mutation() {
+        // Regression: a cached levelization must never serve stale
+        // adjacency to the program builder after a rewire.
+        let mut n = tiny();
+        let a = n.find("a").unwrap();
+        let b = n.find("b").unwrap();
+        let and = n.fanouts().of(a)[0];
+        let before = n.program().unwrap().clone();
+        let and_op = (0..before.len())
+            .find(|&i| before.out(i) == and.index())
+            .unwrap();
+        assert_eq!(before.fanins(and_op), &[a.0, b.0]);
+        // Rewiring the AND gate off `a` must rebuild the program.
+        n.set_fanin(and, vec![b, b]);
+        let after = n.program().unwrap().clone();
+        let and_op = (0..after.len())
+            .find(|&i| after.out(i) == and.index())
+            .unwrap();
+        assert_eq!(after.fanins(and_op), &[b.0, b.0]);
+        assert!(after.consumers(a.index()).is_empty());
+        assert_eq!(after.consumers(b.index()).len(), 2);
+        // Adding a gate invalidates too (op count grows).
+        let g = n.add_gate(CellKind::Not, &[a]);
+        let grown = n.program().unwrap();
+        assert_eq!(grown.len(), after.len() + 1);
+        assert_eq!(
+            grown.consumers(a.index()),
+            &[(0..grown.len())
+                .find(|&i| grown.out(i) == g.index())
+                .unwrap() as u32]
+        );
     }
 
     #[test]

@@ -54,10 +54,10 @@ fn fixture() -> &'static Fixture {
 
 /// Run the pinned campaign and compare against the recorded golden.
 ///
-/// Runs both kernels: the goldens must hold for the default batched kernel
-/// *and* the scalar reference, which keeps the recording itself honest (a
-/// golden that only one kernel reproduces means the equivalence contract
-/// broke, not the statistics).
+/// Runs all three kernels: the goldens must hold for the default compiled
+/// kernel, the batched kernel *and* the scalar reference, which keeps the
+/// recording itself honest (a golden that only one kernel reproduces means
+/// the equivalence contract broke, not the statistics).
 fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
     let f = fixture();
     let runner = FaultRunner {
@@ -66,7 +66,11 @@ fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
         prechar: &f.prechar,
         hardening: None,
     };
-    for kernel in [CampaignKernel::Batched, CampaignKernel::Scalar] {
+    for kernel in [
+        CampaignKernel::Compiled,
+        CampaignKernel::Batched,
+        CampaignKernel::Scalar,
+    ] {
         for fast_forward in [true, false] {
             let opts = CampaignOptions {
                 fast_forward,
@@ -97,7 +101,7 @@ fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
     ));
     let opts = CampaignOptions {
         trace_path: Some(dir.join("trace.json")),
-        ..CampaignOptions::with_kernel(CampaignKernel::Batched)
+        ..CampaignOptions::with_kernel(CampaignKernel::Compiled)
     };
     let r = run_campaign_with(&runner, strategy, RUNS, SEED, &opts);
     assert_eq!(

@@ -196,6 +196,15 @@ fn resume_is_bit_identical_batched_kernel() {
 }
 
 #[test]
+fn resume_is_bit_identical_compiled_kernel() {
+    let f = fixture();
+    let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+    for threads in [1, 4] {
+        check_resume_equivalence(&strategy, CampaignKernel::Compiled, threads);
+    }
+}
+
+#[test]
 fn resume_is_bit_identical_under_importance_sampling() {
     // Importance sampling exercises the weighted path: non-unit weights,
     // ESS accumulation and per-register attribution all round-trip
@@ -209,6 +218,7 @@ fn resume_is_bit_identical_under_importance_sampling() {
         f.cfg.beta,
         f.cfg.radius_options.clone(),
     );
+    check_resume_equivalence(&strategy, CampaignKernel::Compiled, 4);
     check_resume_equivalence(&strategy, CampaignKernel::Batched, 4);
     check_resume_equivalence(&strategy, CampaignKernel::Scalar, 1);
 }
@@ -222,7 +232,11 @@ fn target_eps_stop_is_deterministic_across_threads_and_kernels() {
     let eps = 0.05;
 
     let mut results: Vec<(String, CampaignResult)> = Vec::new();
-    for kernel in [CampaignKernel::Scalar, CampaignKernel::Batched] {
+    for kernel in [
+        CampaignKernel::Scalar,
+        CampaignKernel::Batched,
+        CampaignKernel::Compiled,
+    ] {
         for threads in [1, 4] {
             let metrics = scratch(&format!("earlystop-{kernel:?}-t{threads}.json"));
             let _ = std::fs::remove_file(&metrics);

@@ -104,7 +104,11 @@ fn counter_totals_are_kernel_and_thread_invariant() {
     let r = runner(f);
     let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
     let mut results = Vec::new();
-    for kernel in [CampaignKernel::Scalar, CampaignKernel::Batched] {
+    for kernel in [
+        CampaignKernel::Scalar,
+        CampaignKernel::Batched,
+        CampaignKernel::Compiled,
+    ] {
         for threads in [1usize, 4] {
             let opts = CampaignOptions {
                 threads,
