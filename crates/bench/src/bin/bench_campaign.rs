@@ -12,7 +12,10 @@
 //! with the RTL fast-forward layer disabled (`--fast-forward off`) to
 //! isolate its contribution — same number of runs, same flow, per-run
 //! `SplitMix64` streams, bit-identical results across every row but the
-//! baseline (whose RNG scheme predates per-run streams).
+//! baseline (whose RNG scheme predates per-run streams). The
+//! `engine_mlmc_threads_{1,4}` rows run the two-level MLMC estimator
+//! (`--estimator mlmc`): its estimate is asserted bit-identical across
+//! threads {1,4} and all three kernels.
 //!
 //! Every row reports the fastest of three repeats (scheduler
 //! interference on a shared host is one-sided, so max-of-N estimates
@@ -28,6 +31,12 @@
 //! stratified draw pushed through each kernel's strike phase alone, which
 //! is where the kernels actually differ — the draw/conclude/fold phases
 //! are kernel-invariant scalar work that dilutes end-to-end ratios.
+//!
+//! `--smoke` also runs both estimators to the same `--target-eps` goal
+//! and **fails** (exit 1) if MLMC spends more than 0.5x the single
+//! estimator's gate-accurate runs, or if its estimate leaves the 3-sigma
+//! band around the gate-accurate reference (both gates are deterministic
+//! run-count comparisons, never wall-clock).
 //!
 //! `--smoke` runs a reduced campaign and **fails** (exit 1) if the batched
 //! kernel's single-thread throughput drops below the scalar kernel's, if
@@ -45,8 +54,8 @@ use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 use xlmc::estimator::{
-    gate_path_bench, replay_run, run_campaign_observed, CampaignKernel, CampaignOptions,
-    GatePathBench,
+    gate_path_bench, replay_run, run_campaign_observed, run_campaign_with, CampaignKernel,
+    CampaignOptions, EstimatorKind, GatePathBench, StopReason,
 };
 use xlmc::flow::FaultRunner;
 use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
@@ -252,6 +261,24 @@ fn main() {
         "engine_threads_1_noff".into(),
         &noff_opts,
     ));
+    // The two-level MLMC estimator: the cheap level maps each SET to a
+    // multi-bit SEU and skips the netlist, the coupled correction level
+    // re-evaluates the same (seed, run-index) faults gate-accurately.
+    let mlmc_base = CampaignOptions {
+        estimator: EstimatorKind::Mlmc,
+        ..base_opts.clone()
+    };
+    for threads in [1, 4] {
+        rows.push(engine_best(
+            &runner,
+            &strategy,
+            runs,
+            threads,
+            CampaignKernel::Compiled,
+            format!("engine_mlmc_threads_{threads}"),
+            &mlmc_base,
+        ));
+    }
 
     // The gate-level path in isolation: strike-only passes over one
     // stratified draw, per kernel. This is the comparison the compiled
@@ -395,7 +422,113 @@ fn main() {
         batched.ssf,
         noff.ssf
     );
+    let mlmc_t1 = rows
+        .iter()
+        .find(|r| r.label == "engine_mlmc_threads_1")
+        .expect("mlmc threads-1 row");
+    let mlmc_t4 = rows
+        .iter()
+        .find(|r| r.label == "engine_mlmc_threads_4")
+        .expect("mlmc threads-4 row");
+    assert!(
+        mlmc_t1.ssf == mlmc_t4.ssf,
+        "mlmc result diverged across threads: {} != {}",
+        mlmc_t1.ssf,
+        mlmc_t4.ssf
+    );
+    // The MLMC executors are scalar at every level, so the estimate must
+    // be bit-identical under all three kernels (one untimed check each).
+    for kernel in [CampaignKernel::Scalar, CampaignKernel::Batched] {
+        let opts = CampaignOptions {
+            kernel,
+            threads: 1,
+            metrics_path: None,
+            checkpoint_path: None,
+            trace_path: None,
+            ..mlmc_base.clone()
+        };
+        let r = run_campaign_with(&runner, &strategy, runs, SEED, &opts);
+        assert!(
+            r.ssf == mlmc_t1.ssf,
+            "mlmc result diverged under the {kernel:?} kernel: {} != {}",
+            r.ssf,
+            mlmc_t1.ssf
+        );
+    }
     if smoke {
+        // MLMC budget gate (deterministic — run counts, never wall-clock):
+        // at the same --target-eps/--target-confidence goal the MLMC
+        // estimator must spend at most half the gate-accurate runs the
+        // single estimator pays, and its point estimate must sit inside
+        // the 3-sigma band around the gate-accurate reference.
+        // Tight enough that the single estimator stops well above the
+        // early-stop floor (otherwise both estimators idle at the minimum
+        // and the budget comparison is vacuous).
+        let eps = 0.005;
+        let goal = CampaignOptions {
+            target_eps: Some(eps),
+            metrics_path: None,
+            checkpoint_path: None,
+            trace_path: None,
+            ..base_opts.clone()
+        };
+        let single_goal = run_campaign_with(&runner, &strategy, runs, SEED, &goal);
+        let mlmc_goal = run_campaign_with(
+            &runner,
+            &strategy,
+            runs,
+            SEED,
+            &CampaignOptions {
+                estimator: EstimatorKind::Mlmc,
+                ..goal.clone()
+            },
+        );
+        let m = mlmc_goal.mlmc.as_ref().expect("mlmc summary");
+        let gate_runs_single = single_goal.n;
+        let gate_runs_mlmc = m.n1 as usize;
+        println!(
+            "mlmc budget: {gate_runs_mlmc} gate-accurate runs (+{} RTL-only) vs \
+             {gate_runs_single} for the single estimator at eps {eps}",
+            m.n0
+        );
+        println!(
+            "mlmc decomposition: s0^2 {:.3e} s1^2 {:.3e} (single s^2 {:.3e}), \
+             share1 {:.3} (optimal {:.3}, plan {:?})",
+            m.var0,
+            m.var1_diff,
+            single_goal.sample_variance,
+            m.share1(),
+            m.optimal_share1(),
+            m.plan_ratio
+        );
+        assert_eq!(
+            single_goal.stop,
+            StopReason::TargetEps,
+            "single estimator did not reach eps {eps} within {runs} runs"
+        );
+        assert_eq!(
+            mlmc_goal.stop,
+            StopReason::TargetEps,
+            "mlmc estimator did not reach eps {eps} within {runs} runs"
+        );
+        if 2 * gate_runs_mlmc > gate_runs_single {
+            eprintln!(
+                "SMOKE FAIL: mlmc spent {gate_runs_mlmc} gate-accurate runs, above 0.5x the \
+                 single estimator's {gate_runs_single}"
+            );
+            std::process::exit(1);
+        }
+        let se = (single_goal.sample_variance / single_goal.n as f64 + m.estimator_variance())
+            .sqrt()
+            .max(1e-4);
+        if (single_goal.ssf - mlmc_goal.ssf).abs() > 3.0 * se {
+            eprintln!(
+                "SMOKE FAIL: mlmc estimate {} outside the 3-sigma band of the gate-accurate \
+                 reference {} (sigma {se})",
+                mlmc_goal.ssf, single_goal.ssf
+            );
+            std::process::exit(1);
+        }
         // The throughput gate only means something untraced: span recording
         // sits inside the batched kernel's per-batch loop (the scalar kernel
         // records no inner spans), so a traced smoke run systematically

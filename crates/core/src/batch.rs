@@ -342,6 +342,7 @@ fn fold_records(
     record_provenance: bool,
 ) -> ChunkPartial {
     let mut p = ChunkPartial {
+        level: crate::multilevel::LEVEL_GATE,
         kernel_counters: kc,
         ..ChunkPartial::default()
     };

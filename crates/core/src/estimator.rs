@@ -18,6 +18,9 @@ pub use crate::batch::{gate_path_bench, GatePathBench};
 use crate::batch::{run_chunk_batched, run_chunk_compiled, BatchChunkScratch, SharedCycleCache};
 use crate::fastforward::{FastForwardStats, SharedConclusionMemo};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
+use crate::multilevel::{
+    self, MlmcEstimator, MlmcPlan, MlmcScratch, MlmcSummary, SetToSeuMap, LEVEL_RTL,
+};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::stats::RunningStats;
@@ -33,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 use xlmc_fault::AttackSample;
 use xlmc_soc::MpuBit;
@@ -45,7 +48,11 @@ use xlmc_soc::MpuBit;
 /// frame before packing lanes, so a bigger shard means longer same-frame
 /// stretches and fewer cycle-value groups per batch. The trace stays usable
 /// because `trace_points` caps its resolution anyway.
-const CHUNK_RUNS: usize = 512;
+///
+/// Public so acceptance harnesses can re-derive each chunk's run range
+/// from [`crate::multilevel::MlmcSummary::chunk_levels`] (chunk `c`
+/// covers runs `c·CHUNK_RUNS .. min((c+1)·CHUNK_RUNS, n)`).
+pub const CHUNK_RUNS: usize = 512;
 
 /// The `--target-eps` stopping rule never fires before this many runs: the
 /// Welford variance of the first chunk can be degenerately small (e.g. all
@@ -152,7 +159,14 @@ pub struct CampaignResult {
     pub kernel_counters: KernelCounters,
     /// Index of the first successful run, `None` when no run succeeded.
     /// Like every statistic, a pure function of `(seed, n, strategy)`.
+    /// Under MLMC this is gate-level: the first success of a *coupled*
+    /// chunk (level-0 successes are not attributable — `replay_run`
+    /// re-executes the gate flow).
     pub first_success: Option<u64>,
+    /// Which estimator produced this result.
+    pub estimator: EstimatorKind,
+    /// Per-level MLMC accounting (`None` under the single estimator).
+    pub mlmc: Option<MlmcSummary>,
 }
 
 impl CampaignResult {
@@ -206,6 +220,37 @@ impl CampaignKernel {
     }
 }
 
+/// Which SSF estimator the campaign runs.
+///
+/// `Single` is the paper's estimator: every run pays the gate-accurate
+/// flow. `Mlmc` is the two-level telescoped estimator
+/// `E[f] = E[f_rtl] + E[f_gate − f_rtl]` from [`crate::multilevel`]: most
+/// chunks run the cheap pure-RTL level-0 sampler, and a measured fraction
+/// run coupled level-1 pairs whose signed difference corrects the cheap
+/// level's bias. Both estimators are unbiased; MLMC reaches the same
+/// `--target-eps` goal with far fewer gate-level runs. MLMC results are
+/// bit-identical at any thread count and — because its per-level executors
+/// are scalar — under all three kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EstimatorKind {
+    /// Gate-accurate flow on every run (the paper's estimator).
+    #[default]
+    Single,
+    /// Two-level multilevel Monte Carlo (RTL-cheap / gate-accurate).
+    Mlmc,
+}
+
+impl EstimatorKind {
+    /// The `--estimator` argument spelling (also used in checkpoint and
+    /// metrics headers).
+    pub fn as_arg(&self) -> &'static str {
+        match self {
+            EstimatorKind::Single => "single",
+            EstimatorKind::Mlmc => "mlmc",
+        }
+    }
+}
+
 /// Knobs of the campaign engine, shared by every figure binary.
 ///
 /// The thread count and the kernel are pure scheduling choices: campaign
@@ -224,6 +269,8 @@ pub struct CampaignOptions {
     pub trace_points: usize,
     /// The per-chunk executor.
     pub kernel: CampaignKernel,
+    /// The SSF estimator (`--estimator single|mlmc`).
+    pub estimator: EstimatorKind,
     /// Adaptive stopping: halt once the §3.3 LLN bound at this `eps`
     /// drops to `1 − target_confidence` (checked at chunk boundaries,
     /// never before [`EARLY_STOP_MIN_RUNS`] runs). `None` disables.
@@ -257,6 +304,7 @@ impl Default for CampaignOptions {
             threads: 1,
             trace_points: 200,
             kernel: CampaignKernel::default(),
+            estimator: EstimatorKind::default(),
             target_eps: None,
             target_confidence: 0.95,
             metrics_path: None,
@@ -314,12 +362,16 @@ impl CampaignOptions {
             "  --kernel scalar|batched|compiled\n",
             "                         per-chunk executor (default compiled); results\n",
             "                         are bit-identical under all three\n",
+            "  --estimator single|mlmc\n",
+            "                         gate-accurate single-level estimator, or the\n",
+            "                         two-level RTL-cheap/gate-accurate multilevel\n",
+            "                         Monte Carlo estimator (default single)\n",
             "  --target-eps X         stop once the LLN bound at eps X drops to\n",
             "                         1 - confidence (checked at chunk boundaries)\n",
             "  --target-confidence C  confidence for --target-eps, in (0, 1)\n",
             "                         (default 0.95)\n",
             "  --metrics PATH         write the campaign metrics JSON\n",
-            "                         (xlmc-metrics-v3, schemas/metrics.schema.json)\n",
+            "                         (xlmc-metrics-v4, schemas/metrics.schema.json)\n",
             "  --fast-forward on|off  RTL fast-forward (exact-cycle snapshot cache +\n",
             "                         golden-reconvergence early exit); results are\n",
             "                         bit-identical either way (default on)\n",
@@ -351,6 +403,7 @@ impl CampaignOptions {
         const VALUE_FLAGS: &[&str] = &[
             "--threads",
             "--kernel",
+            "--estimator",
             "--target-eps",
             "--target-confidence",
             "--metrics",
@@ -388,6 +441,18 @@ impl CampaignOptions {
                     };
                 }
                 "--kernel" => opts.set_kernel_arg(&value),
+                "--estimator" => {
+                    opts.estimator = match value.as_str() {
+                        "single" => EstimatorKind::Single,
+                        "mlmc" => EstimatorKind::Mlmc,
+                        _ => {
+                            return Err(format!(
+                                "invalid --estimator value {value:?}: expected \"single\" or \
+                                 \"mlmc\""
+                            ))
+                        }
+                    };
+                }
                 "--target-eps" => {
                     let eps: f64 = value.parse().map_err(|_| {
                         format!("invalid --target-eps value {value:?}: expected a number")
@@ -473,7 +538,19 @@ impl CampaignOptions {
 /// Everything one shard of runs accumulates; merged in shard order.
 #[derive(Debug, Default)]
 pub(crate) struct ChunkPartial {
+    /// The chunk's level tag: [`multilevel::LEVEL_GATE`] for gate-accurate
+    /// chunks (every single-estimator chunk, and MLMC's coupled
+    /// correction chunks), [`multilevel::LEVEL_RTL`] for MLMC's cheap
+    /// level-0 chunks. The merge keys its per-level accumulators on it, so
+    /// checkpoint/resume stays bit-deterministic across mixed-level runs.
+    pub(crate) level: u8,
+    /// The chunk's primary Welford stream: `w·e` for gate chunks, the
+    /// signed correction `w·(e_gate − e_rtl)` for MLMC level-1 chunks.
     pub(crate) stats: RunningStats,
+    /// The gate marginal `w·e_gate` (MLMC level-1 chunks only).
+    pub(crate) gate_stats: RunningStats,
+    /// The RTL marginal `w·e_rtl` (MLMC level-1 chunks only).
+    pub(crate) rtl_stats: RunningStats,
     pub(crate) class_counts: ClassCounts,
     pub(crate) analytic_runs: usize,
     pub(crate) rtl_runs: usize,
@@ -582,7 +659,10 @@ fn run_chunk(
     record_provenance: bool,
 ) -> ChunkPartial {
     ctr.begin_chunk();
-    let mut p = ChunkPartial::default();
+    let mut p = ChunkPartial {
+        level: multilevel::LEVEL_GATE,
+        ..ChunkPartial::default()
+    };
     for i in start..end {
         let mut rng = SplitMix64::for_run(seed, i as u64);
         let sample = strategy.draw(&mut rng);
@@ -633,7 +713,24 @@ pub(crate) fn scalar_chunk_for_tests(
 /// uninterrupted campaign bit-for-bit.
 #[derive(Debug, Default)]
 struct MergeState {
+    /// Which estimator the accumulators below serve.
+    estimator: EstimatorKind,
+    /// The single-estimator stream (untouched under MLMC).
     stats: RunningStats,
+    /// MLMC level-0 stream of `w·e_rtl` (empty under `Single`).
+    level0: RunningStats,
+    /// MLMC level-1 stream of the signed correction `w·(e_gate − e_rtl)`.
+    level1_diff: RunningStats,
+    /// MLMC level-1 gate marginal `w·e_gate`.
+    level1_gate: RunningStats,
+    /// MLMC level-1 RTL marginal `w·e_rtl`.
+    level1_rtl: RunningStats,
+    /// The published post-pilot level-1 chunk share, set when the pilot
+    /// finishes merging (carried through checkpoints so a resumed campaign
+    /// replays the identical schedule).
+    plan_ratio: Option<f64>,
+    /// Level tag of every merged chunk, in chunk order.
+    chunk_levels: Vec<u8>,
     class_counts: ClassCounts,
     analytic_runs: usize,
     rtl_runs: usize,
@@ -652,7 +749,19 @@ struct MergeState {
 
 impl MergeState {
     fn fold(&mut self, p: ChunkPartial, chunk_end: usize) {
-        self.stats.merge(&p.stats);
+        match self.estimator {
+            EstimatorKind::Single => self.stats.merge(&p.stats),
+            EstimatorKind::Mlmc => {
+                self.chunk_levels.push(p.level);
+                if p.level == LEVEL_RTL {
+                    self.level0.merge(&p.stats);
+                } else {
+                    self.level1_diff.merge(&p.stats);
+                    self.level1_gate.merge(&p.gate_stats);
+                    self.level1_rtl.merge(&p.rtl_stats);
+                }
+            }
+        }
         self.class_counts.add(&p.class_counts);
         self.analytic_runs += p.analytic_runs;
         self.rtl_runs += p.rtl_runs;
@@ -668,12 +777,96 @@ impl MergeState {
         if self.first_success.is_none() {
             self.first_success = p.first_success;
         }
-        self.boundaries.push((chunk_end, self.stats.mean()));
         self.merged_chunks += 1;
+        // Freeze the MLMC sample-allocation plan the moment the pilot is
+        // fully merged: a pure function of the pilot variances, so every
+        // schedule — threads, kernels, resume — derives the same ratio.
+        if self.estimator == EstimatorKind::Mlmc
+            && self.plan_ratio.is_none()
+            && self.merged_chunks == MlmcEstimator::PILOT_CHUNKS
+        {
+            let est = MlmcEstimator::default();
+            self.plan_ratio =
+                Some(est.optimal_share1(self.level0.variance(), self.level1_diff.variance()));
+        }
+        self.boundaries.push((chunk_end, self.current_ssf()));
     }
 
     fn runs_merged(&self) -> usize {
         self.boundaries.last().map_or(0, |&(runs, _)| runs)
+    }
+
+    /// The running point estimate of the merged prefix: the plain Welford
+    /// mean under `Single`, the telescoped `mean₀ + mean₁(diff)` under
+    /// MLMC (degenerating to the coupled gate marginal while no level-0
+    /// chunk has merged).
+    fn current_ssf(&self) -> f64 {
+        match self.estimator {
+            EstimatorKind::Single => self.stats.mean(),
+            EstimatorKind::Mlmc => {
+                if self.level0.count() == 0 {
+                    self.level1_gate.mean()
+                } else {
+                    self.level0.mean() + self.level1_diff.mean()
+                }
+            }
+        }
+    }
+
+    /// The per-sample variance scale of the estimate: defined so that
+    /// `sample_variance / n` is the variance of the point estimate under
+    /// either estimator, keeping the LLN bound and the metrics schema
+    /// uniform. For MLMC that is `n · (s₀²/n₀ + s₁²/n₁)` (a zero-count
+    /// level drops out; with no level-0 chunks it reduces to the gate
+    /// marginal's plain sample variance).
+    fn current_sample_variance(&self) -> f64 {
+        match self.estimator {
+            EstimatorKind::Single => self.stats.variance(),
+            EstimatorKind::Mlmc => {
+                let n0 = self.level0.count();
+                let n1 = self.level1_diff.count();
+                let mut v = 0.0;
+                if n0 > 0 {
+                    v += self.level0.variance() / n0 as f64;
+                }
+                if n1 > 0 {
+                    if self.level0.count() == 0 {
+                        v += self.level1_gate.variance() / n1 as f64;
+                    } else {
+                        v += self.level1_diff.variance() / n1 as f64;
+                    }
+                }
+                (n0 + n1) as f64 * v
+            }
+        }
+    }
+
+    /// Samples folded across every stream.
+    fn total_count(&self) -> u64 {
+        match self.estimator {
+            EstimatorKind::Single => self.stats.count(),
+            EstimatorKind::Mlmc => self.level0.count() + self.level1_diff.count(),
+        }
+    }
+
+    /// The LLN bound `Pr[|ŜSF − SSF| ≥ eps] ≤ Var(ŜSF)/eps²` of the merged
+    /// prefix, capped at 1.
+    fn lln_bound(&self, eps: f64) -> f64 {
+        let n = self.total_count();
+        if n == 0 {
+            return 1.0;
+        }
+        (self.current_sample_variance() / (n as f64 * eps * eps)).min(1.0)
+    }
+
+    /// Whether the stopping rule may fire: MLMC additionally requires both
+    /// levels sampled, so the variance terms it bounds are both live (the
+    /// alternating pilot guarantees this from the second chunk on).
+    fn levels_ready(&self) -> bool {
+        match self.estimator {
+            EstimatorKind::Single => true,
+            EstimatorKind::Mlmc => self.level0.count() > 0 && self.level1_diff.count() > 0,
+        }
     }
 
     /// Effective sample size `(Σw)²/Σw²` (0 when no runs folded).
@@ -698,6 +891,18 @@ impl MergeState {
             chunk_runs: CHUNK_RUNS,
             strategy: strategy.to_owned(),
             kernel,
+            estimator: self.estimator,
+            mlmc: match self.estimator {
+                EstimatorKind::Single => None,
+                EstimatorKind::Mlmc => Some(telemetry::MlmcCheckpointState {
+                    plan_ratio: self.plan_ratio,
+                    level0: self.level0,
+                    level1_diff: self.level1_diff,
+                    level1_gate: self.level1_gate,
+                    level1_rtl: self.level1_rtl,
+                    chunk_levels: self.chunk_levels.clone(),
+                }),
+            },
             merged_chunks: self.merged_chunks,
             stats: self.stats,
             w_sum: self.w_sum,
@@ -715,8 +920,16 @@ impl MergeState {
     }
 
     fn from_checkpoint(ck: CampaignCheckpoint) -> Self {
+        let m = ck.mlmc.unwrap_or_default();
         Self {
+            estimator: ck.estimator,
             stats: ck.stats,
+            level0: m.level0,
+            level1_diff: m.level1_diff,
+            level1_gate: m.level1_gate,
+            level1_rtl: m.level1_rtl,
+            plan_ratio: m.plan_ratio,
+            chunk_levels: m.chunk_levels,
             class_counts: ck.class_counts,
             analytic_runs: ck.analytic_runs,
             rtl_runs: ck.rtl_runs,
@@ -748,11 +961,29 @@ impl MergeState {
                 trace.push(last);
             }
         }
+        let costs = MlmcEstimator::default();
+        let mlmc = match self.estimator {
+            EstimatorKind::Single => None,
+            EstimatorKind::Mlmc => Some(MlmcSummary {
+                n0: self.level0.count(),
+                n1: self.level1_diff.count(),
+                mean0: self.level0.mean(),
+                var0: self.level0.variance(),
+                mean1_diff: self.level1_diff.mean(),
+                var1_diff: self.level1_diff.variance(),
+                mean1_gate: self.level1_gate.mean(),
+                mean1_rtl: self.level1_rtl.mean(),
+                cost0: costs.cost0,
+                cost1: costs.cost1,
+                plan_ratio: self.plan_ratio,
+                chunk_levels: self.chunk_levels.clone(),
+            }),
+        };
         CampaignResult {
             strategy: strategy.to_owned(),
             n: self.runs_merged(),
-            ssf: self.stats.mean(),
-            sample_variance: self.stats.variance(),
+            ssf: self.current_ssf(),
+            sample_variance: self.current_sample_variance(),
             ess: self.ess(),
             successes: self.successes,
             trace,
@@ -764,6 +995,8 @@ impl MergeState {
             counters: self.counters,
             kernel_counters: self.kernel_counters,
             first_success: self.first_success,
+            estimator: self.estimator,
+            mlmc,
         }
     }
 }
@@ -775,6 +1008,7 @@ fn validate_checkpoint(
     n: usize,
     strategy: &str,
     kernel: CampaignKernel,
+    estimator: EstimatorKind,
 ) {
     let mut mismatches = Vec::new();
     if ck.seed != seed {
@@ -795,6 +1029,16 @@ fn validate_checkpoint(
             ck.kernel.as_arg(),
             kernel.as_arg()
         ));
+    }
+    if ck.estimator != estimator {
+        mismatches.push(format!(
+            "estimator {:?} != {:?}",
+            ck.estimator.as_arg(),
+            estimator.as_arg()
+        ));
+    }
+    if ck.estimator == EstimatorKind::Mlmc && ck.mlmc.is_none() {
+        mismatches.push("corrupt mlmc checkpoint: per-level state missing".to_owned());
     }
     if ck.boundaries.len() != ck.merged_chunks {
         mismatches.push(format!(
@@ -865,16 +1109,40 @@ pub fn run_campaign_observed(
     let chunks = n.div_ceil(CHUNK_RUNS);
     let chunk_bounds = |c: usize| (c * CHUNK_RUNS, ((c + 1) * CHUNK_RUNS).min(n));
 
-    let mut state = MergeState::default();
+    let mut state = MergeState {
+        estimator: options.estimator,
+        ..MergeState::default()
+    };
     if let Some(path) = &options.checkpoint_path {
         match CampaignCheckpoint::load(path) {
             Ok(Some(ck)) => {
-                validate_checkpoint(&ck, path, seed, n, strategy.name(), options.kernel);
+                validate_checkpoint(
+                    &ck,
+                    path,
+                    seed,
+                    n,
+                    strategy.name(),
+                    options.kernel,
+                    options.estimator,
+                );
                 state = MergeState::from_checkpoint(ck);
             }
             Ok(None) => {}
             Err(e) => panic!("failed to read checkpoint {}: {e}", path.display()),
         }
+    }
+    // MLMC machinery: the SET → multi-bit-SEU map the cheap level injects
+    // through, and the chunk-level plan cell. The pilot chunks use the
+    // fixed alternating schedule; the post-pilot schedule is published by
+    // the merger the moment the pilot is fully merged (or restored from a
+    // checkpoint). Workers claiming a post-pilot chunk spin on the cell —
+    // deadlock-free because chunk indices are claimed in order, so the
+    // pilot chunks are always in flight before any worker needs the plan.
+    let mlmc_on = options.estimator == EstimatorKind::Mlmc;
+    let seu_map = mlmc_on.then(|| SetToSeuMap::build(runner.model, runner.eval, runner.prechar));
+    let plan_cell: OnceLock<MlmcPlan> = OnceLock::new();
+    if let Some(ratio) = state.plan_ratio {
+        let _ = plan_cell.set(MlmcPlan { ratio });
     }
     let start_chunk = state.merged_chunks;
     let resumed_runs = state.runs_merged();
@@ -893,11 +1161,11 @@ pub fn run_campaign_observed(
         let event = ProgressEvent {
             runs_done,
             total_runs: n,
-            ssf: state.stats.mean(),
-            sample_variance: state.stats.variance(),
+            ssf: state.current_ssf(),
+            sample_variance: state.current_sample_variance(),
             ess: state.ess(),
             target_eps: options.target_eps,
-            lln_bound: options.target_eps.map(|eps| state.stats.lln_bound(eps)),
+            lln_bound: options.target_eps.map(|eps| state.lln_bound(eps)),
             class_counts: state.class_counts,
             counters: state.counters,
             kernel_counters: state.kernel_counters,
@@ -913,7 +1181,8 @@ pub fn run_campaign_observed(
         }
         if let Some(eps) = options.target_eps {
             if runs_done >= EARLY_STOP_MIN_RUNS
-                && state.stats.lln_bound(eps) <= 1.0 - options.target_confidence
+                && state.levels_ready()
+                && state.lln_bound(eps) <= 1.0 - options.target_confidence
             {
                 return Some(StopReason::TargetEps);
             }
@@ -962,8 +1231,13 @@ pub fn run_campaign_observed(
         let threads = options.effective_threads().clamp(1, chunks - start_chunk);
         // Workers of the batched kernel share one lazily-filled cycle-value
         // cache (the values are a pure function of the injection cycle), so
-        // adding threads no longer multiplies the warmup work.
+        // adding threads no longer multiplies the warmup work. The MLMC
+        // executors are scalar by design (the correction level is sampled
+        // rarely, the cheap level never strikes the netlist), so they skip
+        // the cache — which is also what makes `--estimator mlmc` results
+        // trivially identical under all three kernels.
         let cycle_cache = match options.kernel {
+            _ if mlmc_on => None,
             CampaignKernel::Scalar => None,
             _ => Some(SharedCycleCache::new(runner.eval.golden.cycles)),
         };
@@ -975,14 +1249,62 @@ pub fn run_campaign_observed(
         let memo = &memo;
         let ff_total = &ff_total;
         let sink = &sink;
+        let seu_map = &seu_map;
+        let plan_cell = &plan_cell;
+        // Shared with the plan-cell spin below: an aborting merger can
+        // exit before the pilot is fully folded, in which case the plan
+        // is never published and waiting workers must bail instead.
+        let stop_flag = AtomicBool::new(false);
+        let stop_flag = &stop_flag;
         let run_one = |c: usize,
                        flow: &mut FlowScratch,
                        batch: &mut BatchChunkScratch,
+                       mlmc: &mut MlmcScratch,
                        ctr: &mut CounterScratch,
                        tid: u32|
          -> ChunkPartial {
             let (start, end) = chunk_bounds(c);
             let _span = sink.span_args(tid, "campaign", "chunk", &[("chunk", c as f64)]);
+            if let Some(map) = seu_map {
+                let level = if c < MlmcEstimator::PILOT_CHUNKS {
+                    MlmcEstimator::pilot_level(c)
+                } else {
+                    // The plan is published by the merger once the pilot
+                    // prefix is folded; chunk indices are claimed in order,
+                    // so the pilot is always in flight ahead of this wait.
+                    // The wait can only end without a plan when an observer
+                    // aborted mid-pilot and the merger left — the returned
+                    // placeholder is behind the merge cursor and never folds.
+                    let plan = loop {
+                        if let Some(p) = plan_cell.get() {
+                            break p;
+                        }
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return ChunkPartial::default();
+                        }
+                        std::thread::yield_now();
+                    };
+                    plan.level_of_chunk(c)
+                };
+                return if level == LEVEL_RTL {
+                    multilevel::run_chunk_level0(
+                        runner, strategy, map, seed, start, end, mlmc, memo, ctr,
+                    )
+                } else {
+                    multilevel::run_chunk_level1(
+                        runner,
+                        strategy,
+                        map,
+                        seed,
+                        start,
+                        end,
+                        mlmc,
+                        memo,
+                        ctr,
+                        record_provenance,
+                    )
+                };
+            }
             match (options.kernel, &cycle_cache) {
                 (CampaignKernel::Compiled, Some(cache)) => run_chunk_compiled(
                     runner,
@@ -1026,12 +1348,13 @@ pub fn run_campaign_observed(
             }
         };
         let front_total = &front_total;
-        let fold_ff = |flow: &FlowScratch, batch: &BatchChunkScratch| {
+        let fold_ff = |flow: &FlowScratch, batch: &BatchChunkScratch, mlmc: &MlmcScratch| {
             let mut total = ff_total
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             total.add(&flow.fast_forward_stats());
             total.add(&batch.fast_forward_stats());
+            total.add(&mlmc.fast_forward_stats());
             let (h, m) = batch.memo_front_stats();
             let mut ft = front_total
                 .lock()
@@ -1044,13 +1367,18 @@ pub fn run_campaign_observed(
         if threads <= 1 {
             let mut flow = FlowScratch::default();
             let mut batch = BatchChunkScratch::default();
+            let mut mlmc_scratch = MlmcScratch::default();
             flow.set_fast_forward(options.fast_forward);
             batch.set_fast_forward(options.fast_forward);
+            mlmc_scratch.set_fast_forward(options.fast_forward);
             let mut ctr = CounterScratch::default();
             for c in start_chunk..chunks {
-                let mut p = run_one(c, &mut flow, &mut batch, &mut ctr, 0);
+                let mut p = run_one(c, &mut flow, &mut batch, &mut mlmc_scratch, &mut ctr, 0);
                 let prov = std::mem::take(&mut p.provenance);
                 state.fold(p, chunk_bounds(c).1);
+                if let Some(ratio) = state.plan_ratio {
+                    let _ = plan_cell.set(MlmcPlan { ratio });
+                }
                 absorb_provenance(
                     prov,
                     options.replay,
@@ -1063,9 +1391,8 @@ pub fn run_campaign_observed(
                     break;
                 }
             }
-            fold_ff(&flow, &batch);
+            fold_ff(&flow, &batch, &mlmc_scratch);
         } else {
-            let stop_flag = AtomicBool::new(false);
             let next = AtomicUsize::new(start_chunk);
             let (tx, rx) = std::sync::mpsc::channel::<(usize, ChunkPartial)>();
             std::thread::scope(|s| {
@@ -1073,14 +1400,15 @@ pub fn run_campaign_observed(
                     let tx = tx.clone();
                     let run_one = &run_one;
                     let next = &next;
-                    let stop_flag = &stop_flag;
                     let tid = (w + 1) as u32;
                     let fold_ff = &fold_ff;
                     s.spawn(move || {
                         let mut flow = FlowScratch::default();
                         let mut batch = BatchChunkScratch::default();
+                        let mut mlmc_scratch = MlmcScratch::default();
                         flow.set_fast_forward(options.fast_forward);
                         batch.set_fast_forward(options.fast_forward);
+                        mlmc_scratch.set_fast_forward(options.fast_forward);
                         let mut ctr = CounterScratch::default();
                         loop {
                             if stop_flag.load(Ordering::Relaxed) {
@@ -1092,12 +1420,13 @@ pub fn run_campaign_observed(
                             }
                             // A send fails only when the merger has
                             // stopped and dropped the receiver.
-                            let p = run_one(c, &mut flow, &mut batch, &mut ctr, tid);
+                            let p =
+                                run_one(c, &mut flow, &mut batch, &mut mlmc_scratch, &mut ctr, tid);
                             if tx.send((c, p)).is_err() {
                                 break;
                             }
                         }
-                        fold_ff(&flow, &batch);
+                        fold_ff(&flow, &batch, &mlmc_scratch);
                     });
                 }
                 drop(tx);
@@ -1114,6 +1443,9 @@ pub fn run_campaign_observed(
                         let end = chunk_bounds(state.merged_chunks).1;
                         let prov = std::mem::take(&mut p.provenance);
                         state.fold(p, end);
+                        if let Some(ratio) = state.plan_ratio {
+                            let _ = plan_cell.set(MlmcPlan { ratio });
+                        }
                         absorb_provenance(
                             prov,
                             options.replay,
@@ -1701,6 +2033,7 @@ mod tests {
         for flag in [
             "--threads",
             "--kernel",
+            "--estimator",
             "--target-eps",
             "--target-confidence",
             "--metrics",
@@ -1797,5 +2130,149 @@ mod tests {
         assert_eq!(result.stop, StopReason::TargetEps);
         assert_eq!(result.n, EARLY_STOP_MIN_RUNS);
         assert!(result.lln_bound(0.5) <= 1.0 - opts.target_confidence);
+    }
+
+    #[test]
+    fn estimator_arg_parses() {
+        let opts = CampaignOptions::parse_args(args(&["--estimator", "mlmc"])).unwrap();
+        assert_eq!(opts.estimator, EstimatorKind::Mlmc);
+        let opts = CampaignOptions::parse_args(args(&["--estimator=single"])).unwrap();
+        assert_eq!(opts.estimator, EstimatorKind::Single);
+        assert_eq!(CampaignOptions::default().estimator, EstimatorKind::Single);
+        assert!(CampaignOptions::parse_args(args(&["--estimator", "both"])).is_err());
+        assert!(CampaignOptions::parse_args(args(&["--estimator"])).is_err());
+    }
+
+    fn mlmc_opts() -> CampaignOptions {
+        CampaignOptions {
+            estimator: EstimatorKind::Mlmc,
+            ..CampaignOptions::default()
+        }
+    }
+
+    #[test]
+    fn mlmc_summary_is_internally_consistent() {
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let n = 6 * CHUNK_RUNS;
+        let result = run_campaign_with(&r, &strat, n, 42, &mlmc_opts());
+        assert_eq!(result.estimator, EstimatorKind::Mlmc);
+        assert_eq!(result.n, n);
+        let m = result.mlmc.as_ref().expect("mlmc summary present");
+        assert_eq!((m.n0 + m.n1) as usize, n);
+        assert!(m.n0 > 0 && m.n1 > 0);
+        // The pilot alternates starting with the coupled level, so the
+        // correction stream is never empty.
+        assert_eq!(&m.chunk_levels[..4], &[1, 0, 1, 0]);
+        assert_eq!(m.chunk_levels.len(), n.div_ceil(CHUNK_RUNS));
+        assert!(m.plan_ratio.is_some(), "plan frozen after the pilot");
+        // The telescoped point estimate is the sum of the level means.
+        assert!((result.ssf - (m.mean0 + m.mean1_diff)).abs() < 1e-15);
+        assert!((0.0..=1.0).contains(&result.ssf));
+        // Every run — cheap or coupled — is classified, so the class
+        // split still covers the whole campaign.
+        assert_eq!(result.class_counts.total(), n);
+    }
+
+    #[test]
+    fn mlmc_result_is_thread_and_kernel_invariant() {
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let n = 6 * CHUNK_RUNS;
+        let base = run_campaign_with(&r, &strat, n, 57, &mlmc_opts());
+        for kernel in [
+            CampaignKernel::Scalar,
+            CampaignKernel::Batched,
+            CampaignKernel::Compiled,
+        ] {
+            for threads in [1usize, 4] {
+                let opts = CampaignOptions {
+                    kernel,
+                    threads,
+                    ..mlmc_opts()
+                };
+                let got = run_campaign_with(&r, &strat, n, 57, &opts);
+                // The MLMC executors are scalar at every level, so even the
+                // kernel-shape counters are identical — full bit equality.
+                assert_eq!(base, got, "kernel {kernel:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mlmc_estimate_agrees_with_single() {
+        // Both estimators are unbiased for the same SSF; with coupled
+        // seeds the two point estimates from the same stream family must
+        // land within a few combined standard errors of each other.
+        let f = fixture();
+        let r = runner(&f);
+        let fd = baseline_distribution(&f.model, &f.cfg);
+        let is = ImportanceSampling::new(
+            fd,
+            &f.model,
+            &f.prechar,
+            f.cfg.alpha,
+            f.cfg.beta,
+            f.cfg.radius_options.clone(),
+        );
+        let n = 8 * CHUNK_RUNS;
+        let single = run_campaign_with(&r, &is, n, 5, &CampaignOptions::default());
+        let mlmc = run_campaign_with(&r, &is, n, 5, &mlmc_opts());
+        let m = mlmc.mlmc.as_ref().unwrap();
+        let se = (single.sample_variance / n as f64 + m.estimator_variance())
+            .sqrt()
+            .max(1e-4);
+        assert!(
+            (single.ssf - mlmc.ssf).abs() <= 5.0 * se,
+            "single {} vs mlmc {} (se {se})",
+            single.ssf,
+            mlmc.ssf
+        );
+    }
+
+    #[test]
+    fn mlmc_target_eps_stop_is_deterministic() {
+        // The stopping rule must wait for both levels to have samples; the
+        // alternating pilot guarantees that by the EARLY_STOP_MIN_RUNS
+        // guard, so a loose eps stops at exactly the same prefix as the
+        // single estimator would.
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let opts = CampaignOptions {
+            target_eps: Some(0.5),
+            ..mlmc_opts()
+        };
+        let result = run_campaign_with(&r, &strat, 8 * CHUNK_RUNS, 31, &opts);
+        assert_eq!(result.stop, StopReason::TargetEps);
+        assert_eq!(result.n, EARLY_STOP_MIN_RUNS);
+        let m = result.mlmc.as_ref().unwrap();
+        assert_eq!(m.chunk_levels, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimator")]
+    fn checkpoint_estimator_mismatch_panics() {
+        let f = fixture();
+        let r = runner(&f);
+        let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
+        let dir = std::env::temp_dir().join(format!("xlmc-estmm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ck.json");
+        let _ = std::fs::remove_file(&ck);
+        let opts = CampaignOptions {
+            checkpoint_path: Some(ck.clone()),
+            checkpoint_every_runs: CHUNK_RUNS,
+            ..CampaignOptions::default()
+        };
+        run_campaign_with(&r, &strat, 2 * CHUNK_RUNS, 3, &opts);
+        assert!(ck.is_file(), "single-estimator checkpoint written");
+        let resume = CampaignOptions {
+            checkpoint_path: Some(ck),
+            ..mlmc_opts()
+        };
+        run_campaign_with(&r, &strat, 2 * CHUNK_RUNS, 3, &resume);
     }
 }

@@ -300,6 +300,16 @@ impl RtlFastForward {
     }
 }
 
+/// The run-to-halt reference verdict of one `(T_e, faulty bits)` error set:
+/// restore the nearest golden checkpoint, replay to the injection cycle,
+/// write the errors back, and simulate to completion with every
+/// acceleration disabled. This is the oracle the fast-forward layer — and
+/// the multilevel estimator's cross-level consistency tests — are pinned
+/// against.
+pub fn reference_verdict(eval: &Evaluation, te: u64, faulty_bits: &[MpuBit]) -> bool {
+    RtlFastForward::new(false).resume(eval, te, faulty_bits)
+}
+
 /// Hasher for keys that are already well-mixed 64-bit hashes: multiply by an
 /// odd constant instead of SipHash. The byte fallback (never hit by the memo,
 /// which only writes `u64`s) is FNV-1a.

@@ -70,6 +70,7 @@ pub mod flow;
 pub mod harden;
 pub mod lifetime;
 pub mod model;
+pub mod multilevel;
 pub mod precharacterize;
 pub mod rng;
 pub mod sampling;

@@ -27,7 +27,7 @@
 //! build), so serialization here is a small hand-rolled JSON writer and
 //! recursive-descent parser ([`JsonValue`]).
 
-use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts};
+use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts, EstimatorKind};
 use crate::fastforward::FastForwardStats;
 use crate::stats::RunningStats;
 use crate::trace::{counters_from_json, counters_json, CampaignCounters, KernelCounters};
@@ -468,7 +468,7 @@ fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
 // Checkpoints
 // ---------------------------------------------------------------------------
 
-const CHECKPOINT_FORMAT: &str = "xlmc-checkpoint-v2";
+const CHECKPOINT_FORMAT: &str = "xlmc-checkpoint-v3";
 
 fn bit_names() -> &'static HashMap<String, MpuBit> {
     static NAMES: OnceLock<HashMap<String, MpuBit>> = OnceLock::new();
@@ -478,6 +478,26 @@ fn bit_names() -> &'static HashMap<String, MpuBit> {
             .map(|b| (b.dff_name(), b))
             .collect()
     })
+}
+
+/// The multilevel half of a checkpoint: the exact per-level Welford
+/// states plus the frozen sample-allocation plan, so a resumed MLMC
+/// campaign schedules the same chunk levels and folds the same bits as
+/// an uninterrupted one (`xlmc-checkpoint-v3`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct MlmcCheckpointState {
+    /// The frozen post-pilot level-1 share, `None` while still piloting.
+    pub(crate) plan_ratio: Option<f64>,
+    /// Level-0 stream `w·f_rtl`.
+    pub(crate) level0: RunningStats,
+    /// Level-1 correction stream `w·(f_gate − f_rtl)`.
+    pub(crate) level1_diff: RunningStats,
+    /// Level-1 gate marginal `w·f_gate`.
+    pub(crate) level1_gate: RunningStats,
+    /// Level-1 RTL marginal `w·f_rtl`.
+    pub(crate) level1_rtl: RunningStats,
+    /// Level tag of every merged chunk, in merge order.
+    pub(crate) chunk_levels: Vec<u8>,
 }
 
 /// A crash-safe snapshot of a campaign's merged prefix.
@@ -508,6 +528,34 @@ pub(crate) struct CampaignCheckpoint {
     pub(crate) counters: CampaignCounters,
     pub(crate) kernel_counters: KernelCounters,
     pub(crate) first_success: Option<u64>,
+    pub(crate) estimator: EstimatorKind,
+    pub(crate) mlmc: Option<MlmcCheckpointState>,
+}
+
+/// A Welford state as its exact on-disk JSON object.
+fn stats_json(st: &RunningStats) -> String {
+    let (count, mean, m2) = st.to_raw();
+    format!(
+        "{{\"count\": {count}, \"mean_bits\": {}, \"m2_bits\": {}}}",
+        bits_str(mean),
+        bits_str(m2)
+    )
+}
+
+fn stats_from_json(v: &JsonValue, what: &str) -> Result<RunningStats, String> {
+    Ok(RunningStats::from_raw(
+        get_u64(v, "count").map_err(|e| format!("{what}: {e}"))?,
+        f64_from_bits_str(
+            v.get("mean_bits")
+                .ok_or_else(|| format!("{what}: missing mean_bits"))?,
+            "mean",
+        )?,
+        f64_from_bits_str(
+            v.get("m2_bits")
+                .ok_or_else(|| format!("{what}: missing m2_bits"))?,
+            "m2",
+        )?,
+    ))
 }
 
 impl CampaignCheckpoint {
@@ -523,6 +571,32 @@ impl CampaignCheckpoint {
         let _ = writeln!(s, "  \"chunk_runs\": {},", self.chunk_runs);
         let _ = writeln!(s, "  \"strategy\": \"{}\",", json_escape(&self.strategy));
         let _ = writeln!(s, "  \"kernel\": \"{}\",", self.kernel.as_arg());
+        let _ = writeln!(s, "  \"estimator\": \"{}\",", self.estimator.as_arg());
+        match &self.mlmc {
+            Some(m) => {
+                let mut levels = String::with_capacity(4 * m.chunk_levels.len() + 2);
+                levels.push('[');
+                for (i, lvl) in m.chunk_levels.iter().enumerate() {
+                    if i > 0 {
+                        levels.push_str(", ");
+                    }
+                    let _ = write!(levels, "{lvl}");
+                }
+                levels.push(']');
+                let _ = writeln!(
+                    s,
+                    "  \"mlmc\": {{\"plan_ratio_bits\": {}, \"level0\": {}, \
+                     \"level1_diff\": {}, \"level1_gate\": {}, \"level1_rtl\": {}, \
+                     \"chunk_levels\": {levels}}},",
+                    m.plan_ratio.map_or("null".to_owned(), bits_str),
+                    stats_json(&m.level0),
+                    stats_json(&m.level1_diff),
+                    stats_json(&m.level1_gate),
+                    stats_json(&m.level1_rtl),
+                );
+            }
+            None => s.push_str("  \"mlmc\": null,\n"),
+        }
         let _ = writeln!(s, "  \"merged_chunks\": {},", self.merged_chunks);
         let _ = writeln!(
             s,
@@ -589,6 +663,51 @@ impl CampaignCheckpoint {
             Some("batched") => CampaignKernel::Batched,
             Some("compiled") => CampaignKernel::Compiled,
             other => return Err(format!("invalid checkpoint kernel {other:?}")),
+        };
+        let estimator = match doc.get("estimator").and_then(JsonValue::as_str) {
+            Some("single") => EstimatorKind::Single,
+            Some("mlmc") => EstimatorKind::Mlmc,
+            other => return Err(format!("invalid checkpoint estimator {other:?}")),
+        };
+        let mlmc = match doc.get("mlmc") {
+            Some(JsonValue::Null) => None,
+            Some(m) => {
+                let plan_ratio = match m.get("plan_ratio_bits") {
+                    Some(JsonValue::Null) => None,
+                    Some(v) => Some(f64_from_bits_str(v, "plan_ratio")?),
+                    None => return Err("mlmc state missing plan_ratio_bits".to_owned()),
+                };
+                let chunk_levels = m
+                    .get("chunk_levels")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("mlmc state missing chunk_levels")?
+                    .iter()
+                    .map(|e| {
+                        e.as_u64()
+                            .filter(|&x| x <= 1)
+                            .map(|x| x as u8)
+                            .ok_or_else(|| "invalid chunk_levels entry".to_owned())
+                    })
+                    .collect::<Result<Vec<u8>, String>>()?;
+                Some(MlmcCheckpointState {
+                    plan_ratio,
+                    level0: stats_from_json(m.get("level0").ok_or("missing level0")?, "level0")?,
+                    level1_diff: stats_from_json(
+                        m.get("level1_diff").ok_or("missing level1_diff")?,
+                        "level1_diff",
+                    )?,
+                    level1_gate: stats_from_json(
+                        m.get("level1_gate").ok_or("missing level1_gate")?,
+                        "level1_gate",
+                    )?,
+                    level1_rtl: stats_from_json(
+                        m.get("level1_rtl").ok_or("missing level1_rtl")?,
+                        "level1_rtl",
+                    )?,
+                    chunk_levels,
+                })
+            }
+            None => return Err("missing mlmc field".to_owned()),
         };
         let stats_obj = doc.get("stats").ok_or("missing stats object")?;
         let stats = RunningStats::from_raw(
@@ -675,6 +794,8 @@ impl CampaignCheckpoint {
             counters,
             kernel_counters,
             first_success,
+            estimator,
+            mlmc,
         })
     }
 
@@ -706,8 +827,9 @@ impl CampaignCheckpoint {
 /// The metrics format tag pinned by `schemas/metrics.schema.json`.
 /// `v2` added `host_cpus` and the `fast_forward` counter object; `v3`
 /// added `kernel`, the `program` shape object and the `scheduler`
-/// contention object.
-pub const METRICS_FORMAT: &str = "xlmc-metrics-v3";
+/// contention object; `v4` added `estimator` and the nullable `mlmc`
+/// per-level variance/cost/allocation object.
+pub const METRICS_FORMAT: &str = "xlmc-metrics-v4";
 
 /// Shape of the compiled gate program driving the campaign (all zeros
 /// when the model netlist could not be levelized — never the case for the
@@ -810,6 +932,33 @@ pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
     let _ = writeln!(s, "  \"runs_per_sec\": {},", json_num(meta.runs_per_sec));
     let _ = writeln!(s, "  \"host_cpus\": {},", meta.host_cpus);
     let _ = writeln!(s, "  \"kernel\": \"{}\",", meta.kernel.as_arg());
+    let _ = writeln!(s, "  \"estimator\": \"{}\",", result.estimator.as_arg());
+    match &result.mlmc {
+        Some(m) => {
+            let _ = writeln!(
+                s,
+                "  \"mlmc\": {{\"n0\": {}, \"n1\": {}, \"mean0\": {}, \"mean1_diff\": {}, \
+                 \"mean1_gate\": {}, \"mean1_rtl\": {}, \"s2_0\": {}, \"s2_1\": {}, \
+                 \"cost0\": {}, \"cost1\": {}, \"share1\": {}, \"optimal_share1\": {}, \
+                 \"plan_ratio\": {}, \"estimator_variance\": {}}},",
+                m.n0,
+                m.n1,
+                json_num(m.mean0),
+                json_num(m.mean1_diff),
+                json_num(m.mean1_gate),
+                json_num(m.mean1_rtl),
+                json_num(m.var0),
+                json_num(m.var1_diff),
+                json_num(m.cost0),
+                json_num(m.cost1),
+                json_num(m.share1()),
+                json_num(m.optimal_share1()),
+                m.plan_ratio.map_or("null".to_owned(), json_num),
+                json_num(m.estimator_variance()),
+            );
+        }
+        None => s.push_str("  \"mlmc\": null,\n"),
+    }
     let p = &meta.program;
     let _ = writeln!(
         s,
@@ -915,7 +1064,9 @@ fn validate_at(doc: &JsonValue, schema: &JsonValue, path: &str) -> Result<(), St
             return Err(format!("{path}: value not in schema enum"));
         }
     }
-    if let Some(JsonValue::Arr(required)) = schema.get("required") {
+    // Like draft-07, `required` constrains objects only — a nullable
+    // object field (`"type": ["object", "null"]`) passes as `null`.
+    if let (Some(JsonValue::Arr(required)), JsonValue::Obj(_)) = (schema.get("required"), doc) {
         for key in required.iter().filter_map(JsonValue::as_str) {
             if doc.get(key).is_none() {
                 return Err(format!("{path}: missing required field {key:?}"));
@@ -991,9 +1142,35 @@ mod tests {
                 gates_visited: 123456,
             },
             first_success: Some(777),
+            estimator: EstimatorKind::Mlmc,
+            mlmc: Some(MlmcCheckpointState {
+                plan_ratio: Some(0.1 + 0.2),
+                level0: {
+                    let mut st = RunningStats::new();
+                    st.push(1.0 / 7.0);
+                    st.push(0.0);
+                    st
+                },
+                level1_diff: {
+                    let mut st = RunningStats::new();
+                    st.push(-1.0 / 3.0);
+                    st
+                },
+                level1_gate: RunningStats::new(),
+                level1_rtl: RunningStats::new(),
+                chunk_levels: vec![1, 0, 1, 0, 0, 0, 1],
+            }),
         };
         let round = CampaignCheckpoint::from_json(&ck.to_json()).unwrap();
         assert_eq!(round, ck);
+        let m = round.mlmc.as_ref().unwrap();
+        assert_eq!(
+            m.plan_ratio.unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits(),
+            "plan ratio must round-trip bit-exactly"
+        );
+        let (_, d0, _) = m.level1_diff.to_raw();
+        assert_eq!(d0.to_bits(), (-1.0f64 / 3.0).to_bits());
         // Bit-exactness of the Welford state, not just PartialEq.
         let (n0, m0, s0) = ck.stats.to_raw();
         let (n1, m1, s1) = round.stats.to_raw();
@@ -1057,6 +1234,21 @@ mod tests {
             counters: CampaignCounters::default(),
             kernel_counters: KernelCounters::default(),
             first_success: Some(40),
+            estimator: EstimatorKind::Mlmc,
+            mlmc: Some(crate::multilevel::MlmcSummary {
+                n0: 900,
+                n1: 124,
+                mean0: 0.016,
+                var0: 2.0e-2,
+                mean1_diff: 0.001,
+                var1_diff: 1.0e-4,
+                mean1_gate: 0.018,
+                mean1_rtl: 0.017,
+                cost0: 1.0,
+                cost1: 9.0,
+                plan_ratio: Some(0.125),
+                chunk_levels: vec![1, 0],
+            }),
         };
         let meta = MetricsMeta {
             seed: 7,
@@ -1112,6 +1304,18 @@ mod tests {
             doc.get("kernel").and_then(JsonValue::as_str),
             Some("compiled")
         );
+        assert_eq!(
+            doc.get("estimator").and_then(JsonValue::as_str),
+            Some("mlmc")
+        );
+        let mlmc = doc.get("mlmc").unwrap();
+        assert_eq!(mlmc.get("n0").and_then(JsonValue::as_u64), Some(900));
+        assert_eq!(mlmc.get("n1").and_then(JsonValue::as_u64), Some(124));
+        assert_eq!(
+            mlmc.get("plan_ratio").and_then(JsonValue::as_f64),
+            Some(0.125)
+        );
+        assert!(mlmc.get("estimator_variance").and_then(JsonValue::as_f64) > Some(0.0));
         let prog = doc.get("program").unwrap();
         assert_eq!(prog.get("levels").and_then(JsonValue::as_u64), Some(9));
         assert_eq!(

@@ -133,6 +133,75 @@ fn correlation_cone_campaign_matches_golden() {
     check(&strategy, 0x3f92e04189374bc9, 0x3f865096a541acff);
 }
 
+/// MLMC golden: the multilevel estimator's per-level executors are scalar,
+/// so the same pinned bits must hold under every kernel, fast-forward
+/// setting *and* thread count — and the folded correction term is pinned
+/// alongside the point estimate, so a drift hidden inside the telescoped
+/// sum (level-0 bias moving one way, correction the other) still trips.
+#[test]
+fn mlmc_importance_campaign_matches_golden() {
+    use xlmc::estimator::EstimatorKind;
+    let f = fixture();
+    let strategy = ImportanceSampling::new(
+        baseline_distribution(&f.model, &f.cfg),
+        &f.model,
+        &f.prechar,
+        f.cfg.alpha,
+        f.cfg.beta,
+        f.cfg.radius_options.clone(),
+    );
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+    };
+    // ssf 0.018154774746748918, variance 7.159919e-3, correction mean 0.0
+    // (the static SetToSeuMap is exact on this fixture, so the pinned
+    // correction is the zero bit pattern — a nonzero value here is itself
+    // a signal that the map lost fidelity).
+    const GOLDEN_SSF: u64 = 0x3f92972a4f36d16e;
+    const GOLDEN_VAR: u64 = 0x3f7d53b8375bf36d;
+    const GOLDEN_MEAN1_DIFF: u64 = 0x0000000000000000;
+    for kernel in [
+        CampaignKernel::Compiled,
+        CampaignKernel::Batched,
+        CampaignKernel::Scalar,
+    ] {
+        for fast_forward in [true, false] {
+            for threads in [1, 4] {
+                let opts = CampaignOptions {
+                    fast_forward,
+                    threads,
+                    estimator: EstimatorKind::Mlmc,
+                    ..CampaignOptions::with_kernel(kernel)
+                };
+                let r = run_campaign_with(&runner, &strategy, RUNS, SEED, &opts);
+                let m = r.mlmc.as_ref().expect("mlmc summary present");
+                assert!(r.ssf.is_finite() && r.sample_variance.is_finite());
+                assert_eq!(
+                    (
+                        r.ssf.to_bits(),
+                        r.sample_variance.to_bits(),
+                        m.mean1_diff.to_bits(),
+                    ),
+                    (GOLDEN_SSF, GOLDEN_VAR, GOLDEN_MEAN1_DIFF),
+                    "mlmc ({kernel:?}, fast_forward {fast_forward}, threads {threads}): \
+                     got ssf {} ({:#018x}), variance {:.6e} ({:#018x}), \
+                     mean1_diff {:.6e} ({:#018x}) \
+                     — if the sampling streams changed intentionally, re-record the goldens",
+                    r.ssf,
+                    r.ssf.to_bits(),
+                    r.sample_variance,
+                    r.sample_variance.to_bits(),
+                    m.mean1_diff,
+                    m.mean1_diff.to_bits(),
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn full_importance_campaign_matches_golden() {
     let f = fixture();

@@ -102,6 +102,19 @@ fn check_metrics_schema(path: &PathBuf) -> JsonValue {
     doc
 }
 
+/// Parse the checkpoint file and validate it against the checked-in
+/// checkpoint schema.
+fn check_checkpoint_schema(path: &PathBuf) -> JsonValue {
+    let schema_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/checkpoint.schema.json");
+    let schema = JsonValue::parse(&std::fs::read_to_string(&schema_path).expect("read schema"))
+        .expect("schema parses");
+    let doc = JsonValue::parse(&std::fs::read_to_string(path).expect("read checkpoint"))
+        .expect("checkpoint parses");
+    validate_against_schema(&doc, &schema).expect("checkpoint matches schema");
+    doc
+}
+
 /// Interrupt a checkpointed campaign partway, resume it from the file,
 /// and demand the bit-identical result of an uninterrupted run.
 fn check_resume_equivalence(
@@ -151,6 +164,7 @@ fn check_resume_equivalence(
         ck.exists(),
         "{tag}: checkpoint file should exist after abort"
     );
+    check_checkpoint_schema(&ck);
 
     // Second leg: same options, no abort — resumes from the file and must
     // land exactly where the uninterrupted run did.
@@ -221,6 +235,108 @@ fn resume_is_bit_identical_under_importance_sampling() {
     check_resume_equivalence(&strategy, CampaignKernel::Compiled, 4);
     check_resume_equivalence(&strategy, CampaignKernel::Batched, 4);
     check_resume_equivalence(&strategy, CampaignKernel::Scalar, 1);
+}
+
+/// MLMC mixed-level resume: interrupt a multilevel campaign once with the
+/// last durable checkpoint *inside* the pilot (no frozen plan on disk) and
+/// once *past* it (the file carries the frozen allocation plus all four
+/// pilot chunks), at one and four worker threads — and demand the
+/// bit-identical result of the uninterrupted run. The whole-struct
+/// `assert_eq!` covers the `MlmcSummary`: per-level Welford states, the
+/// plan ratio and the chunk-level tags all round-trip through the
+/// `xlmc-checkpoint-v3` file.
+#[test]
+fn mlmc_resume_is_bit_identical_across_levels() {
+    use xlmc::estimator::EstimatorKind;
+    let f = fixture();
+    let r = runner(f);
+    let strategy = ImportanceSampling::new(
+        baseline_distribution(&f.model, &f.cfg),
+        &f.model,
+        &f.prechar,
+        f.cfg.alpha,
+        f.cfg.beta,
+        f.cfg.radius_options.clone(),
+    );
+    let n = 3_072; // 6 chunks: the 4-chunk pilot plus 2 planned chunks
+    for threads in [1usize, 4] {
+        for abort_at in [1_536usize, 2_560] {
+            let tag = format!("mlmc-t{threads}-abort{abort_at}");
+            let ck = scratch(&format!("resume-{tag}.ckpt"));
+            let metrics = scratch(&format!("resume-{tag}.metrics.json"));
+            let _ = std::fs::remove_file(&ck);
+            let _ = std::fs::remove_file(&metrics);
+
+            let base_opts = CampaignOptions {
+                estimator: EstimatorKind::Mlmc,
+                threads,
+                ..CampaignOptions::default()
+            };
+            let reference = run_campaign_with(&r, &strategy, n, SEED, &base_opts);
+            assert_eq!(reference.stop, StopReason::Completed);
+            let m = reference.mlmc.as_ref().expect("mlmc summary present");
+            assert_eq!(&m.chunk_levels[..4], &[1, 0, 1, 0], "{tag}: pilot order");
+            assert!(m.plan_ratio.is_some(), "{tag}: plan frozen");
+
+            // Checkpoint every 1024 runs; aborting at 1536 leaves the
+            // 1024-run (mid-pilot) snapshot on disk, aborting at 2560
+            // leaves the 2048-run (post-pilot, plan frozen) one.
+            let ck_opts = CampaignOptions {
+                checkpoint_path: Some(ck.clone()),
+                checkpoint_every_runs: 1_024,
+                metrics_path: Some(metrics.clone()),
+                ..base_opts.clone()
+            };
+            let partial = run_campaign_observed(
+                &r,
+                &strategy,
+                n,
+                SEED,
+                &ck_opts,
+                &mut AbortAt { at_runs: abort_at },
+            );
+            assert_eq!(partial.stop, StopReason::Aborted, "{tag}");
+            assert!(ck.exists(), "{tag}: checkpoint file missing after abort");
+            let ck_doc = check_checkpoint_schema(&ck);
+            assert_eq!(
+                ck_doc.get("estimator").and_then(JsonValue::as_str),
+                Some("mlmc"),
+                "{tag}"
+            );
+            let plan_bits = ck_doc
+                .get("mlmc")
+                .and_then(|m| m.get("plan_ratio_bits"))
+                .expect("mlmc state in checkpoint");
+            if abort_at <= 1_536 {
+                assert_eq!(plan_bits, &JsonValue::Null, "{tag}: plan not yet frozen");
+            } else {
+                assert!(
+                    plan_bits.as_str().is_some(),
+                    "{tag}: frozen plan serialized as bits"
+                );
+            }
+
+            let resumed =
+                run_campaign_observed(&r, &strategy, n, SEED, &ck_opts, &mut NullObserver);
+            assert_eq!(
+                resumed, reference,
+                "{tag}: resumed result differs from the uninterrupted run"
+            );
+
+            let doc = check_metrics_schema(&metrics);
+            assert_eq!(
+                doc.get("estimator").and_then(JsonValue::as_str),
+                Some("mlmc")
+            );
+            let mj = doc.get("mlmc").expect("mlmc object in metrics");
+            let n0 = mj.get("n0").and_then(JsonValue::as_u64).unwrap();
+            let n1 = mj.get("n1").and_then(JsonValue::as_u64).unwrap();
+            assert_eq!((n0 + n1) as usize, n, "{tag}: every run accounted");
+
+            let _ = std::fs::remove_file(&ck);
+            let _ = std::fs::remove_file(&metrics);
+        }
+    }
 }
 
 #[test]

@@ -11,6 +11,24 @@ use xlmc_gatesim::cycle::CycleSim;
 use xlmc_soc::workloads;
 use xlmc_soc::MpuBit;
 
+/// Renders the per-bit diff between the RTL-recorded state and the
+/// gate-simulated state, naming each architectural bit, so a divergence
+/// failure shows *which* registers split instead of two opaque vectors.
+fn state_diff_table(model: &SystemModel, rtl: &[bool], gate: &[bool]) -> String {
+    let mut table = String::from("bit                         rtl    gate\n");
+    for (pos, &dff) in model.mpu.netlist().dffs().iter().enumerate() {
+        if rtl[pos] != gate[pos] {
+            let name = model
+                .mpu
+                .bit_of(dff)
+                .map(|b| format!("{b:?}"))
+                .unwrap_or_else(|| format!("dff #{pos}"));
+            table.push_str(&format!("{name:<28}{:<7}{}\n", rtl[pos], gate[pos]));
+        }
+    }
+    table
+}
+
 /// Replaying the write-benchmark golden stimulus through the gate netlist
 /// reproduces the recorded RTL MPU state cycle for cycle.
 #[test]
@@ -22,7 +40,11 @@ fn gate_netlist_tracks_rtl_through_the_attack_benchmark() {
     let mut state = model.mpu.state_vector(&eval.golden.mpu_states[0]);
     for c in 0..eval.golden.cycles as usize {
         let expect = model.mpu.state_vector(&eval.golden.mpu_states[c]);
-        assert_eq!(state, expect, "state diverged at cycle {c}");
+        assert!(
+            state == expect,
+            "state diverged at cycle {c}:\n{}",
+            state_diff_table(&model, &expect, &state)
+        );
         let stim = &eval.golden.stimulus[c];
         let inputs = model.mpu.input_values(stim.request, stim.cfg_write);
         let cv = sim.eval(model.mpu.netlist(), &state, &inputs);
@@ -47,7 +69,11 @@ fn gate_netlist_tracks_rtl_through_the_synthetic_benchmark() {
     let mut state = model.mpu.state_vector(&golden.mpu_states[0]);
     for c in 0..golden.cycles as usize {
         let expect = model.mpu.state_vector(&golden.mpu_states[c]);
-        assert_eq!(state, expect, "state diverged at cycle {c}");
+        assert!(
+            state == expect,
+            "state diverged at cycle {c}:\n{}",
+            state_diff_table(&model, &expect, &state)
+        );
         let stim = &golden.stimulus[c];
         let inputs = model.mpu.input_values(stim.request, stim.cfg_write);
         let cv = sim.eval(model.mpu.netlist(), &state, &inputs);
@@ -133,6 +159,112 @@ fn responding_signal_suppression_is_the_canonical_attack() {
         eval.workload.goal.succeeded(&soc),
         "suppressing the responding signal must defeat the mechanism"
     );
+}
+
+/// All three levels of the estimator hierarchy pinned against each other on
+/// one batch of coupled campaign runs: the analytic level-0 multi-SEU
+/// verdict (SetToSeuMap, no netlist), the run-to-halt RTL resume, and the
+/// gate-accurate fast-forward flow. Two invariants hold for every run, and
+/// a violation fails with the full per-level diff table rather than a bare
+/// assert:
+///
+/// 1. gate (fast-forward) == RTL (run-to-halt): fast-forward is an exact
+///    scheduling optimization, never an approximation;
+/// 2. analytic == gate wherever the map declares the sample exactly
+///    representable — the runs whose MLMC correction term is provably zero.
+#[test]
+fn three_level_verdict_matrix_stays_pinned() {
+    use xlmc::fastforward::SharedConclusionMemo;
+    use xlmc::flow::{FaultRunner, FlowScratch};
+    use xlmc::multilevel::{coupled_run_with, MlmcScratch, SetToSeuMap};
+    use xlmc::rng::SplitMix64;
+    use xlmc::sampling::{baseline_distribution, ImportanceSampling, SamplingStrategy};
+    use xlmc::Precharacterization;
+
+    const RUNS: u64 = 768;
+    const SEED: u64 = 0x3_1EE7;
+
+    let model = SystemModel::with_defaults().unwrap();
+    let eval = Evaluation::new(workloads::illegal_write()).unwrap();
+    let cfg = xlmc::sampling::ExperimentConfig {
+        t_max: 16,
+        ..Default::default()
+    };
+    let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
+    let map = SetToSeuMap::build(&model, &eval, &prechar);
+    let strategy = ImportanceSampling::new(
+        baseline_distribution(&model, &cfg),
+        &model,
+        &prechar,
+        cfg.alpha,
+        cfg.beta,
+        cfg.radius_options.clone(),
+    );
+    let runner = FaultRunner {
+        model: &model,
+        eval: &eval,
+        prechar: &prechar,
+        hardening: None,
+    };
+    let memo = SharedConclusionMemo::default();
+    let mut coupled = MlmcScratch::default();
+    let mut halt = FlowScratch::default();
+    halt.set_fast_forward(false);
+
+    struct Row {
+        run: u64,
+        analytic: bool,
+        rtl_halt: bool,
+        gate: bool,
+        exact: bool,
+    }
+    let mut broken: Vec<Row> = Vec::new();
+    let (mut exact_runs, mut successes) = (0usize, 0usize);
+    for i in 0..RUNS {
+        // The engine's sample for run i, re-drawn to query the map.
+        let mut rng = SplitMix64::for_run(SEED, i);
+        let sample = strategy.draw(&mut rng);
+        let exact = map.exactly_representable(&sample);
+
+        // Level 0 (analytic multi-SEU) and the gate level come from the
+        // coupled pair; the RTL level is an independent run-to-halt resume
+        // of the identical per-run stream.
+        let rec = coupled_run_with(&runner, &map, &strategy, SEED, i, &mut coupled, &memo);
+        let out = runner.run_with(&sample, &mut rng, &mut halt);
+
+        exact_runs += exact as usize;
+        successes += out.success as usize;
+        let row = Row {
+            run: i,
+            analytic: rec.rtl_success,
+            rtl_halt: out.success,
+            gate: rec.gate_success,
+            exact,
+        };
+        let ff_exact = row.gate == row.rtl_halt;
+        let map_exact = !row.exact || row.analytic == row.gate;
+        if !(ff_exact && map_exact) {
+            broken.push(row);
+        }
+    }
+
+    // The matrix must actually exercise every level on this batch.
+    assert!(exact_runs > 0, "no exactly representable run in the batch");
+    assert!(successes > 0, "no successful attack in the batch");
+
+    if !broken.is_empty() {
+        let mut table = String::from("run    analytic  rtl-halt  gate   exactly-representable\n");
+        for r in &broken {
+            table.push_str(&format!(
+                "{:<7}{:<10}{:<10}{:<7}{}\n",
+                r.run, r.analytic, r.rtl_halt, r.gate, r.exact
+            ));
+        }
+        panic!(
+            "{} of {RUNS} runs break the cross-level verdict matrix:\n{table}",
+            broken.len()
+        );
+    }
 }
 
 /// The elaborated MPU survives a structural-Verilog round trip: the parsed

@@ -394,6 +394,91 @@ fn campaign_fixture() -> &'static CampaignFixture {
     })
 }
 
+fn strategy_for(
+    f: &'static CampaignFixture,
+    idx: usize,
+) -> Box<dyn xlmc::sampling::SamplingStrategy> {
+    use xlmc::sampling::{baseline_distribution, ConeSampling, ImportanceSampling, RandomSampling};
+    let fd = baseline_distribution(&f.model, &f.cfg);
+    match idx {
+        0 => Box::new(RandomSampling::new(fd)),
+        1 => Box::new(ConeSampling::new(
+            fd,
+            &f.prechar,
+            f.cfg.radius_options.clone(),
+        )),
+        _ => Box::new(ImportanceSampling::new(
+            fd,
+            &f.model,
+            &f.prechar,
+            f.cfg.alpha,
+            f.cfg.beta,
+            f.cfg.radius_options.clone(),
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cross-level exactness of the SET → SEU map: whenever the map
+    /// declares a drawn sample exactly representable at RTL (radius-0
+    /// strike, register target, single register class), the cheap level-0
+    /// verdict must equal the gate-accurate verdict — this is the
+    /// invariant that lets the MLMC correction term skip such samples
+    /// without bias.
+    #[test]
+    fn exactly_representable_samples_agree_across_levels(
+        seed in any::<u64>(),
+        strategy_idx in 0usize..3,
+    ) {
+        use std::sync::OnceLock;
+        use xlmc::fastforward::SharedConclusionMemo;
+        use xlmc::flow::FaultRunner;
+        use xlmc::multilevel::{coupled_run_with, MlmcScratch, SetToSeuMap};
+        use xlmc::rng::SplitMix64;
+
+        let f = campaign_fixture();
+        static MAP: OnceLock<SetToSeuMap> = OnceLock::new();
+        let map = MAP.get_or_init(|| SetToSeuMap::build(&f.model, &f.eval, &f.prechar));
+        let runner = FaultRunner {
+            model: &f.model,
+            eval: &f.eval,
+            prechar: &f.prechar,
+            hardening: None,
+        };
+        let strategy = strategy_for(f, strategy_idx);
+        let memo = SharedConclusionMemo::default();
+        let mut scratch = MlmcScratch::default();
+        let mut checked = 0usize;
+        for i in 0..192u64 {
+            // Re-draw the engine's sample for run i to test the guard,
+            // then evaluate both levels under the exact per-run streams.
+            let mut rng = SplitMix64::for_run(seed, i);
+            let sample = strategy.draw(&mut rng);
+            if !map.exactly_representable(&sample) {
+                continue;
+            }
+            let rec = coupled_run_with(
+                &runner,
+                map,
+                strategy.as_ref(),
+                seed,
+                i,
+                &mut scratch,
+                &memo,
+            );
+            prop_assert_eq!(
+                rec.gate_success, rec.rtl_success,
+                "run {} ({:?}): levels disagree on an exactly representable sample",
+                i, sample
+            );
+            checked += 1;
+        }
+        prop_assert!(checked > 0, "no exactly representable sample in 192 draws");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
