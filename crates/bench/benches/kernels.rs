@@ -139,6 +139,7 @@ fn bench_flow_paths(c: &mut Criterion) {
         eval: &s.eval,
         prechar: &s.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let mut g = c.benchmark_group("flow");
     g.sample_size(30);
@@ -185,6 +186,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         eval: &s.eval,
         prechar: &s.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let cfg = ExperimentConfig::default();
     let strategy = ImportanceSampling::new(

@@ -21,6 +21,7 @@ fn main() {
         eval: &ctx.write_eval,
         prechar: &ctx.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let f = baseline_distribution(&ctx.model, &ctx.cfg);
     let strategies: Vec<Box<dyn SamplingStrategy>> = vec![

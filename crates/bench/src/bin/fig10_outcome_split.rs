@@ -21,6 +21,7 @@ fn main() {
         eval: &ctx.write_eval,
         prechar: &ctx.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let netlist = ctx.model.mpu.netlist();
     let comb_cells: Vec<GateId> = ctx

@@ -33,6 +33,7 @@ fn ssf(
         eval,
         prechar,
         hardening: None,
+        multi_fault: None,
     };
     run_observed_campaign(&runner, &RandomSampling::new(f), n, seed, opts, tag).ssf
 }

@@ -11,7 +11,7 @@
 
 use xlmc::estimator::CampaignOptions;
 use xlmc::flow::FaultRunner;
-use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
+use xlmc::harden::{select_top_registers, HardenedSet, HardenedVariant, HardeningModel};
 use xlmc::sampling::{baseline_distribution, ImportanceSampling};
 use xlmc_bench::{pct, print_table, run_observed_campaign, ExperimentContext};
 
@@ -23,6 +23,7 @@ fn main() {
         eval: &ctx.write_eval,
         prechar: &ctx.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let f = baseline_distribution(&ctx.model, &ctx.cfg);
     let is = ImportanceSampling::new(
@@ -74,10 +75,11 @@ fn main() {
 
     // Harden them and re-evaluate.
     let model = HardeningModel::default();
-    let hardened = HardenedSet::new(critical.clone(), model);
+    let hardened = HardenedVariant::Uniform(HardenedSet::new(critical.clone(), model));
     let overhead = hardened.area_overhead(&ctx.model);
     let hardened_runner = FaultRunner {
         hardening: Some(&hardened),
+        multi_fault: None,
         ..runner
     };
     eprintln!("[hardening] hardened campaign ...");

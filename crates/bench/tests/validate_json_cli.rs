@@ -1,0 +1,78 @@
+//! CLI contract for the `validate_json` binary: bad inputs must produce a
+//! readable diagnostic and a non-zero exit status — never a panic.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_validate_json"))
+        .args(args)
+        .output()
+        .expect("spawn validate_json")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("validate_json_cli_{}_{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn missing_file_is_a_readable_error_not_a_panic() {
+    let schema = tmp_file("schema.json", r#"{"type": "object"}"#);
+    let out = run(&[schema.to_str().unwrap(), "/nonexistent/doc.json"]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {err}");
+    assert!(err.contains("cannot read"), "unreadable message: {err}");
+    assert!(err.contains("/nonexistent/doc.json"), "no path in: {err}");
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
+fn truncated_json_is_a_readable_error_not_a_panic() {
+    let schema = tmp_file("trunc_schema.json", r#"{"type": "object"}"#);
+    let doc = tmp_file(
+        "trunc_doc.json",
+        r#"{"format": "xlmc-metrics-v4", "runs": [1, 2"#,
+    );
+    let out = run(&[schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {err}");
+    assert!(err.contains("not valid JSON"), "unreadable message: {err}");
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
+fn missing_arguments_print_usage() {
+    let out = run(&[]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {err}");
+    assert!(err.contains("usage:"), "no usage line: {err}");
+}
+
+#[test]
+fn schema_violation_exits_one_and_names_the_file() {
+    let schema = tmp_file(
+        "viol_schema.json",
+        r#"{"type": "object", "required": ["format"], "properties": {"format": {"type": "string"}}}"#,
+    );
+    let doc = tmp_file("viol_doc.json", r#"{"other": 3}"#);
+    let out = run(&[schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(1), "stderr: {err}");
+    assert!(err.contains("FAIL"), "no FAIL marker: {err}");
+}
+
+#[test]
+fn valid_document_exits_zero() {
+    let schema = tmp_file("ok_schema.json", r#"{"type": "object"}"#);
+    let doc = tmp_file("ok_doc.json", r#"{"anything": [1, 2, 3]}"#);
+    let out = run(&[schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}

@@ -42,6 +42,17 @@ pub fn evaluate(
     faulty_bits: &[MpuBit],
     injection_cycle: u64,
 ) -> AnalyticVerdict {
+    // Goal guard: the static replay encodes the paper's two scenarios — the
+    // target access must now pass, everything else must keep its golden
+    // verdict. The escalation and skip goals invert that logic (their
+    // success mode *is* a spurious violation of previously-legal traffic),
+    // so the analytical model declines and the flow falls back to RTL.
+    match eval.workload.goal {
+        AttackGoal::IllegalWrite | AttackGoal::IllegalRead => {}
+        AttackGoal::PrivilegeEscalation | AttackGoal::InstructionSkip => {
+            return AnalyticVerdict::NotApplicable;
+        }
+    }
     // Capability guard: only configuration and sticky bits are captured by
     // the pure predicate.
     if !faulty_bits.iter().all(|b| b.is_config() || b.is_sticky()) {
@@ -110,6 +121,9 @@ pub fn evaluate(
     let follow_ups: &[(u16, AccessKind)] = match eval.workload.goal {
         AttackGoal::IllegalWrite => &[],
         AttackGoal::IllegalRead => &[(LEAK_ADDR, AccessKind::Write)],
+        AttackGoal::PrivilegeEscalation | AttackGoal::InstructionSkip => {
+            unreachable!("gated to NotApplicable above")
+        }
     };
     for &(addr, kind) in follow_ups {
         if !cfg.allows(addr, kind, true) {
@@ -216,6 +230,20 @@ mod tests {
                 verdict == AnalyticVerdict::Success,
                 rtl_success,
                 "analytic vs RTL mismatch for {bit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escalation_and_skip_goals_always_fall_back_to_rtl() {
+        // Their success mode is a *spurious* violation, which the static
+        // replay's rules would misclassify as a caught attack.
+        for w in [workloads::trap_escalation(), workloads::instruction_skip()] {
+            let e = Evaluation::new(w).unwrap();
+            let inject_at = e.target_cycle - 10;
+            assert_eq!(
+                evaluate(&e, &[MpuBit::Enable], inject_at),
+                AnalyticVerdict::NotApplicable
             );
         }
     }

@@ -36,6 +36,7 @@ use crate::flow::{FaultRunner, StrikeClass};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::trace::{CounterScratch, KernelCounters, TraceSink};
+use rand::RngCore;
 
 /// Campaign-wide memo of the per-cycle stable netlist values.
 ///
@@ -255,8 +256,17 @@ pub(crate) fn run_chunk_batched(
         let strike_span = sink.span_on(tid, "chunk", "strike");
         scratch.lane_strikes.clear();
         for &ri in batch {
-            scratch.lane_strikes.push_sample(
-                &scratch.draws[ri as usize].sample,
+            let ri = ri as usize;
+            // The second-spot entropy word comes off the run's own stream
+            // here — the same stream position as the scalar engine, which
+            // draws it right after the primary spot query and before the
+            // hardening draws in `conclude_with`.
+            let spot2 = runner
+                .multi_fault
+                .map(|mf| mf.second_spot(scratch.draws[ri].rng.next_u64()));
+            scratch.lane_strikes.push_sample_with(
+                &scratch.draws[ri].sample,
+                spot2.as_ref(),
                 &runner.model.placement,
                 period,
             );
@@ -407,8 +417,17 @@ pub(crate) fn run_chunk_compiled(
         let strike_span = sink.span_on(tid, "chunk", "strike");
         scratch.lane_strikes.clear();
         for &ri in batch {
-            scratch.lane_strikes.push_sample(
-                &scratch.draws[ri as usize].sample,
+            let ri = ri as usize;
+            // The second-spot entropy word comes off the run's own stream
+            // here — the same stream position as the scalar engine, which
+            // draws it right after the primary spot query and before the
+            // hardening draws in `conclude_with`.
+            let spot2 = runner
+                .multi_fault
+                .map(|mf| mf.second_spot(scratch.draws[ri].rng.next_u64()));
+            scratch.lane_strikes.push_sample_with(
+                &scratch.draws[ri].sample,
+                spot2.as_ref(),
                 &runner.model.placement,
                 period,
             );
@@ -704,7 +723,7 @@ pub fn gate_path_bench(
 mod tests {
     use super::*;
     use crate::flow::FlowScratch;
-    use crate::harden::{HardenedSet, HardeningModel};
+    use crate::harden::{HardenedSet, HardenedVariant, HardeningModel};
     use crate::model::{Evaluation, SystemModel};
     use crate::precharacterize::Precharacterization;
     use crate::sampling::{
@@ -763,16 +782,17 @@ mod tests {
     #[test]
     fn batched_chunk_runs_match_scalar_runs() {
         let f = fixture();
-        let hardened = HardenedSet::new(
+        let hardened = HardenedVariant::Uniform(HardenedSet::new(
             [xlmc_soc::MpuBit::Violation, xlmc_soc::MpuBit::Enable],
             HardeningModel::default(),
-        );
+        ));
         for hardening in [None, Some(&hardened)] {
             let runner = FaultRunner {
                 model: &f.model,
                 eval: &f.eval,
                 prechar: &f.prechar,
                 hardening,
+                multi_fault: None,
             };
             for strat in strategies(&f) {
                 for seed in [3u64, 77] {
@@ -831,6 +851,7 @@ mod tests {
             eval: &f.eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
         let cache = SharedCycleCache::new(runner.eval.golden.cycles);
@@ -878,7 +899,7 @@ mod tests {
     }
 
     /// The 256-wide compiled kernel reproduces the scalar engine run by
-    /// run on *all three* attack workloads (each exercises a different
+    /// run on *all five* attack workloads (each exercises a different
     /// target register cone), with and without hardening.
     #[test]
     fn compiled_chunk_runs_match_scalar_runs_across_workloads() {
@@ -888,14 +909,16 @@ mod tests {
             ..Default::default()
         };
         let prechar = Precharacterization::run(&model, cfg.t_max, cfg.max_radius());
-        let hardened = HardenedSet::new(
+        let hardened = HardenedVariant::Uniform(HardenedSet::new(
             [xlmc_soc::MpuBit::Violation, xlmc_soc::MpuBit::Enable],
             HardeningModel::default(),
-        );
+        ));
         for workload in [
             workloads::illegal_write(),
             workloads::illegal_read(),
             workloads::dma_exfiltration(),
+            workloads::trap_escalation(),
+            workloads::instruction_skip(),
         ] {
             let eval = Evaluation::new(workload).unwrap();
             for hardening in [None, Some(&hardened)] {
@@ -904,6 +927,7 @@ mod tests {
                     eval: &eval,
                     prechar: &prechar,
                     hardening,
+                    multi_fault: None,
                 };
                 let strat = RandomSampling::new(baseline_distribution(&model, &cfg));
                 let seed = 41u64;
@@ -950,6 +974,89 @@ mod tests {
         }
     }
 
+    /// Under the double-glitch mode both packed kernels still reproduce
+    /// the scalar engine run by run: the second-spot entropy word is drawn
+    /// at the same per-run stream position in all three kernels, so lane
+    /// packing never perturbs the second strike (or the hardening draws
+    /// that follow it on the same stream).
+    #[test]
+    fn kernels_match_scalar_under_double_glitch() {
+        let f = fixture();
+        let fd = baseline_distribution(&f.model, &f.cfg);
+        let glitch = xlmc_fault::DoubleGlitch::new(fd.spatial.clone(), fd.radius.clone());
+        let hardened = HardenedVariant::Uniform(HardenedSet::new(
+            [xlmc_soc::MpuBit::Violation, xlmc_soc::MpuBit::Enable],
+            HardeningModel::default(),
+        ));
+        for hardening in [None, Some(&hardened)] {
+            let runner = FaultRunner {
+                model: &f.model,
+                eval: &f.eval,
+                prechar: &f.prechar,
+                hardening,
+                multi_fault: Some(&glitch),
+            };
+            let strat = RandomSampling::new(fd.clone());
+            let seed = 23u64;
+            let n = 300;
+            for compiled in [false, true] {
+                let cache = SharedCycleCache::new(runner.eval.golden.cycles);
+                let memo = SharedConclusionMemo::default();
+                let mut scratch = BatchChunkScratch::default();
+                let mut ctr = CounterScratch::default();
+                let sink = TraceSink::disabled();
+                if compiled {
+                    run_chunk_compiled(
+                        &runner,
+                        &strat,
+                        seed,
+                        0,
+                        n,
+                        &mut scratch,
+                        &cache,
+                        &memo,
+                        &mut ctr,
+                        false,
+                        &sink,
+                        0,
+                    );
+                } else {
+                    run_chunk_batched(
+                        &runner,
+                        &strat,
+                        seed,
+                        0,
+                        n,
+                        &mut scratch,
+                        &cache,
+                        &memo,
+                        &mut ctr,
+                        false,
+                        &sink,
+                        0,
+                    );
+                }
+                let mut flow = FlowScratch::default();
+                for i in 0..n {
+                    let mut rng = SplitMix64::for_run(seed, i as u64);
+                    let sample = strat.draw(&mut rng);
+                    let w = strat.weight(&sample);
+                    let out = runner.run_with(&sample, &mut rng, &mut flow);
+                    let (bs, bc, ba, bbits, bw) = scratch.recorded(i);
+                    let ctx = format!(
+                        "compiled={compiled} hardened={} run {i}",
+                        hardening.is_some()
+                    );
+                    assert_eq!(bs, out.success, "{ctx}");
+                    assert_eq!(bc, out.class, "{ctx}");
+                    assert_eq!(ba, out.analytic, "{ctx}");
+                    assert_eq!(bbits, out.faulty_bits, "{ctx}");
+                    assert!(bw == w, "{ctx}: weight {bw} != {w}");
+                }
+            }
+        }
+    }
+
     /// The compiled partial equals the scalar partial field by field at
     /// every 256-lane tail shape (1/63/64/65/255/256/257).
     #[test]
@@ -960,6 +1067,7 @@ mod tests {
             eval: &f.eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let strat = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
         let cache = SharedCycleCache::new(runner.eval.golden.cycles);

@@ -19,7 +19,7 @@ use crate::batch::{run_chunk_batched, run_chunk_compiled, BatchChunkScratch, Sha
 use crate::fastforward::{FastForwardStats, SharedConclusionMemo};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
 use crate::multilevel::{
-    self, MlmcEstimator, MlmcPlan, MlmcScratch, MlmcSummary, SetToSeuMap, LEVEL_RTL,
+    self, MlmcEstimator, MlmcPlan, MlmcScratch, MlmcSummary, SetToSeuMap, LEVEL_GATE, LEVEL_RTL,
 };
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
@@ -160,8 +160,9 @@ pub struct CampaignResult {
     /// Index of the first successful run, `None` when no run succeeded.
     /// Like every statistic, a pure function of `(seed, n, strategy)`.
     /// Under MLMC this is gate-level: the first success of a *coupled*
-    /// chunk (level-0 successes are not attributable — `replay_run`
-    /// re-executes the gate flow).
+    /// chunk (level-0 successes are not attributable). `--replay` is
+    /// level-aware: a run that a level-0 chunk evaluated is re-derived via
+    /// [`crate::multilevel::replay_run_level0`], not the gate flow.
     pub first_success: Option<u64>,
     /// Which estimator produced this result.
     pub estimator: EstimatorKind,
@@ -353,6 +354,23 @@ impl CampaignOptions {
         }
     }
 
+    /// Every value-taking flag [`parse_args`](Self::parse_args) accepts.
+    /// The `--help` table and the contract test iterate this list, so a
+    /// flag added to the parser without help text fails the build's tests.
+    pub const VALUE_FLAGS: &'static [&'static str] = &[
+        "--threads",
+        "--kernel",
+        "--estimator",
+        "--target-eps",
+        "--target-confidence",
+        "--metrics",
+        "--checkpoint",
+        "--checkpoint-every",
+        "--trace",
+        "--replay",
+        "--fast-forward",
+    ];
+
     /// The `--help` flag table: every flag the campaign engine owns.
     pub fn usage() -> String {
         concat!(
@@ -400,19 +418,6 @@ impl CampaignOptions {
     where
         I: IntoIterator<Item = String>,
     {
-        const VALUE_FLAGS: &[&str] = &[
-            "--threads",
-            "--kernel",
-            "--estimator",
-            "--target-eps",
-            "--target-confidence",
-            "--metrics",
-            "--checkpoint",
-            "--checkpoint-every",
-            "--trace",
-            "--replay",
-            "--fast-forward",
-        ];
         let mut opts = Self::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -420,7 +425,7 @@ impl CampaignOptions {
                 Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
                 None => (arg, None),
             };
-            if !VALUE_FLAGS.contains(&flag.as_str()) {
+            if !Self::VALUE_FLAGS.contains(&flag.as_str()) {
                 continue;
             }
             let value = inline
@@ -1288,7 +1293,16 @@ pub fn run_campaign_observed(
                 };
                 return if level == LEVEL_RTL {
                     multilevel::run_chunk_level0(
-                        runner, strategy, map, seed, start, end, mlmc, memo, ctr,
+                        runner,
+                        strategy,
+                        map,
+                        seed,
+                        start,
+                        end,
+                        mlmc,
+                        memo,
+                        ctr,
+                        options.replay,
                     )
                 } else {
                     multilevel::run_chunk_level1(
@@ -1375,12 +1389,14 @@ pub fn run_campaign_observed(
             for c in start_chunk..chunks {
                 let mut p = run_one(c, &mut flow, &mut batch, &mut mlmc_scratch, &mut ctr, 0);
                 let prov = std::mem::take(&mut p.provenance);
+                let level = p.level;
                 state.fold(p, chunk_bounds(c).1);
                 if let Some(ratio) = state.plan_ratio {
                     let _ = plan_cell.set(MlmcPlan { ratio });
                 }
                 absorb_provenance(
                     prov,
+                    level,
                     options.replay,
                     &mut ring,
                     &mut success_log,
@@ -1442,12 +1458,14 @@ pub fn run_campaign_observed(
                     while let Some(mut p) = pending.remove(&state.merged_chunks) {
                         let end = chunk_bounds(state.merged_chunks).1;
                         let prov = std::mem::take(&mut p.provenance);
+                        let level = p.level;
                         state.fold(p, end);
                         if let Some(ratio) = state.plan_ratio {
                             let _ = plan_cell.set(MlmcPlan { ratio });
                         }
                         absorb_provenance(
                             prov,
+                            level,
                             options.replay,
                             &mut ring,
                             &mut success_log,
@@ -1516,11 +1534,30 @@ pub fn run_campaign_observed(
     observer.on_finish(&result);
 
     // Replay before writing the trace so the replay spans land in the file.
+    // The run is re-executed *at the level the campaign evaluated it*: under
+    // MLMC a level-0 run's recorded verdict is the SEU-map conclusion, which
+    // legitimately differs from the gate flow wherever the correction term
+    // is non-zero — replaying the wrong level would spuriously fail the
+    // cross-check below.
     if let Some(idx) = options.replay {
-        let rec = replay_run(runner, strategy, seed, idx, &sink);
+        let level = result
+            .mlmc
+            .as_ref()
+            .and_then(|m| m.chunk_levels.get(idx as usize / CHUNK_RUNS))
+            .copied()
+            .unwrap_or(LEVEL_GATE);
+        let rec = if level == LEVEL_RTL {
+            let map = seu_map
+                .as_ref()
+                .expect("an MLMC result implies the SEU map was built");
+            multilevel::replay_run_level0(runner, map, strategy, seed, idx)
+        } else {
+            replay_run(runner, strategy, seed, idx, &sink)
+        };
         eprintln!(
-            "[replay] run {idx}: t={} center={} radius={} phase={} te={:?} w={} class={} \
-             success={} analytic={}",
+            "[replay] run {idx} (level={}): t={} center={} radius={} phase={} te={:?} w={} \
+             class={} success={} analytic={}",
+            if level == LEVEL_RTL { "rtl" } else { "gate" },
             rec.t,
             rec.center.index(),
             rec.radius,
@@ -1609,6 +1646,7 @@ pub fn run_campaign_observed(
 /// of the merged prefix.
 fn absorb_provenance(
     prov: Vec<ProvenanceRecord>,
+    level: u8,
     replay_target: Option<u64>,
     ring: &mut VecDeque<ProvenanceRecord>,
     successes: &mut Vec<ProvenanceRecord>,
@@ -1617,6 +1655,11 @@ fn absorb_provenance(
     for rec in prov {
         if replay_target == Some(rec.run_index) {
             *capture = Some(rec.clone());
+        }
+        // A level-0 chunk's only record is the replay target; the trace
+        // ring and the success log stay gate-level notions.
+        if level == LEVEL_RTL {
+            continue;
         }
         if rec.success {
             successes.push(rec.clone());
@@ -1707,6 +1750,7 @@ mod tests {
             eval: &f.eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         }
     }
 
@@ -2030,20 +2074,32 @@ mod tests {
     #[test]
     fn usage_mentions_every_value_flag() {
         let usage = CampaignOptions::usage();
-        for flag in [
-            "--threads",
-            "--kernel",
-            "--estimator",
-            "--target-eps",
-            "--target-confidence",
-            "--metrics",
-            "--checkpoint",
-            "--checkpoint-every",
-            "--trace",
-            "--replay",
-            "--help",
-        ] {
+        for &flag in CampaignOptions::VALUE_FLAGS {
             assert!(usage.contains(flag), "usage is missing {flag}");
+        }
+        assert!(usage.contains("--help"), "usage is missing --help");
+    }
+
+    /// The inverse contract: every value flag the help table advertises is
+    /// actually accepted by the parser (an unknown flag would be skipped
+    /// and its value consumed as a positional by the caller).
+    #[test]
+    fn every_value_flag_round_trips_through_the_parser() {
+        for &flag in CampaignOptions::VALUE_FLAGS {
+            let value = match flag {
+                "--kernel" => "scalar",
+                "--estimator" => "mlmc",
+                "--fast-forward" => "off",
+                "--target-eps" => "0.01",
+                "--target-confidence" => "0.9",
+                "--metrics" | "--checkpoint" | "--trace" => "/tmp/x.json",
+                _ => "3",
+            };
+            CampaignOptions::parse_args([flag.to_owned(), value.to_owned()])
+                .unwrap_or_else(|e| panic!("{flag} rejected a valid value: {e}"));
+            // A missing value must be a readable error, not a panic.
+            let err = CampaignOptions::parse_args([flag.to_owned()]).unwrap_err();
+            assert!(err.contains(flag), "{err:?} does not name {flag}");
         }
     }
 

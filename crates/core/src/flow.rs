@@ -20,13 +20,13 @@ use crate::analytic::{self, AnalyticVerdict};
 use crate::fastforward::{
     self, ConclusionFront, FastForwardStats, RtlFastForward, SharedConclusionMemo,
 };
-use crate::harden::HardenedSet;
+use crate::harden::HardenedVariant;
 use crate::lifetime::RegisterKind;
 use crate::model::{Evaluation, SystemModel};
 use crate::precharacterize::Precharacterization;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use xlmc_fault::{AttackSample, RadiationSpot};
+use xlmc_fault::{AttackSample, DoubleGlitch, RadiationSpot};
 use xlmc_gatesim::{CycleValues, StrikeOutcome, TransientScratch};
 use xlmc_netlist::GateId;
 use xlmc_soc::MpuBit;
@@ -149,6 +149,7 @@ pub struct FlowScratch {
     state_buf: Vec<bool>,
     input_buf: Vec<bool>,
     struck: Vec<GateId>,
+    struck2: Vec<GateId>,
     transient: TransientScratch,
     strike_out: StrikeOutcome,
     faulty_regs: Vec<GateId>,
@@ -181,8 +182,12 @@ pub struct FaultRunner<'a> {
     pub eval: &'a Evaluation,
     /// The pre-characterization (register classification).
     pub prechar: &'a Precharacterization,
-    /// Optional hardened-register countermeasure.
-    pub hardening: Option<&'a HardenedSet>,
+    /// Optional hardening countermeasure.
+    pub hardening: Option<&'a HardenedVariant>,
+    /// Optional correlated multi-fault (double-glitch) mode: a second spot
+    /// per run, time-correlated with the primary sample, drawn from one
+    /// word of entropy split off the per-run stream.
+    pub multi_fault: Option<&'a DoubleGlitch>,
 }
 
 impl FaultRunner<'_> {
@@ -276,6 +281,7 @@ impl FaultRunner<'_> {
             state_buf,
             input_buf,
             struck,
+            struck2,
             transient,
             strike_out,
             faulty_regs,
@@ -312,6 +318,15 @@ impl FaultRunner<'_> {
             radius: sample.radius,
         };
         spot.impacted_cells_into(&self.model.placement, struck);
+        if let Some(mf) = self.multi_fault {
+            // One entropy word per in-run sample, drawn before the hardening
+            // filter — the same stream position in every kernel.
+            let second = mf.second_spot(rng.next_u64());
+            second.impacted_cells_into(&self.model.placement, struck2);
+            struck.extend_from_slice(struck2);
+            struck.sort_unstable();
+            struck.dedup();
+        }
         let strike_time = sample.strike_time_ps(self.model.transient.config().clock_period_ps);
         self.model.transient.strike_with(
             netlist,
@@ -488,12 +503,13 @@ mod tests {
         }
     }
 
-    fn runner<'a>(f: &'a Fixture, hardening: Option<&'a HardenedSet>) -> FaultRunner<'a> {
+    fn runner<'a>(f: &'a Fixture, hardening: Option<&'a HardenedVariant>) -> FaultRunner<'a> {
         FaultRunner {
             model: &f.model,
             eval: &f.eval,
             prechar: &f.prechar,
             hardening,
+            multi_fault: None,
         }
     }
 
@@ -591,7 +607,10 @@ mod tests {
     #[test]
     fn hardening_absorbs_most_direct_hits() {
         let f = fixture();
-        let hardened = HardenedSet::new([MpuBit::Violation], HardeningModel::default());
+        let hardened = HardenedVariant::Uniform(HardenedSet::new(
+            [MpuBit::Violation],
+            HardeningModel::default(),
+        ));
         let r = runner(&f, Some(&hardened));
         let mut rng = StdRng::seed_from_u64(6);
         let sample = AttackSample {
@@ -607,6 +626,75 @@ mod tests {
             (2..=25).contains(&successes),
             "hardened success rate should be ~10%, got {successes}/100"
         );
+    }
+
+    #[test]
+    fn degenerate_second_spot_matches_single_spot() {
+        // Second spot pinned to the primary center with radius 0: the
+        // union equals the primary impacted set, so the double-glitch
+        // verdict must match the single-spot flow bit for bit.
+        let f = fixture();
+        let single = runner(&f, None);
+        let center = f.model.mpu.dff(MpuBit::Violation);
+        let glitch = xlmc_fault::DoubleGlitch::new(
+            xlmc_fault::SpatialDist::Delta(center),
+            xlmc_fault::RadiusDist::fixed(0.0),
+        );
+        let double = FaultRunner {
+            multi_fault: Some(&glitch),
+            ..single
+        };
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for t in [1, 3, 7] {
+            let sample = AttackSample {
+                t,
+                center,
+                radius: 1.5,
+                phase: 2,
+            };
+            let a = single.run(&sample, &mut rng_a);
+            let b = double.run(&sample, &mut rng_b);
+            assert_eq!(a.success, b.success, "t = {t}");
+            assert_eq!(a.faulty_bits, b.faulty_bits, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn second_spot_widens_the_error_set() {
+        // A second spot parked on the Enable DFF adds that cell to every
+        // in-run strike; repeated runs are bit-deterministic.
+        let f = fixture();
+        let base = runner(&f, None);
+        let glitch = xlmc_fault::DoubleGlitch::new(
+            xlmc_fault::SpatialDist::Delta(f.model.mpu.dff(MpuBit::Enable)),
+            xlmc_fault::RadiusDist::fixed(0.0),
+        );
+        let double = FaultRunner {
+            multi_fault: Some(&glitch),
+            ..base
+        };
+        let sample = AttackSample {
+            t: 2,
+            center: f.model.mpu.dff(MpuBit::Violation),
+            radius: 0.0,
+            phase: 0,
+        };
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let a = double.run(&sample, &mut rng_a);
+        let b = double.run(&sample, &mut rng_b);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.faulty_bits, b.faulty_bits);
+        // The primary-only strike at phase 0 latches the violation bit; the
+        // second spot can only add to the struck set.
+        let solo = base.run(&sample, &mut StdRng::seed_from_u64(12));
+        for bit in &solo.faulty_bits {
+            assert!(
+                a.faulty_bits.contains(bit),
+                "double-glitch dropped {bit:?} from the error set"
+            );
+        }
     }
 
     #[test]

@@ -84,6 +84,176 @@ impl HardenedSet {
     }
 }
 
+/// SCFI-style encoded control state (arXiv:2208.01356).
+///
+/// The MPU's non-configuration state — the bus-check pipeline and the
+/// violation/sticky FSM — is re-encoded with a fault-detecting state code,
+/// so a single-bit upset lands outside the valid codeword set and is
+/// caught by the continuous signature check. Modeled as a per-bit *miss
+/// rate*: a would-be flip on a covered bit survives (escapes the code)
+/// with probability `miss_rate`.
+#[derive(Debug, Clone)]
+pub struct ScfiFsm {
+    covered: HashSet<MpuBit>,
+    /// Probability that a flip on a covered bit escapes the code check.
+    pub miss_rate: f64,
+    /// Cell-area multiplier of an encoded state flip-flop.
+    pub area_multiplier: f64,
+}
+
+impl ScfiFsm {
+    /// Encode every non-configuration register (pipeline + FSM + sticky
+    /// status) with the default SCFI parameters.
+    pub fn new() -> Self {
+        Self::with_miss_rate(0.05)
+    }
+
+    /// Encode the non-configuration registers with an explicit miss rate.
+    pub fn with_miss_rate(miss_rate: f64) -> Self {
+        Self {
+            covered: MpuBit::all()
+                .into_iter()
+                .filter(|b| !b.is_config())
+                .collect(),
+            miss_rate,
+            // Encoded flops carry the code bits' share plus the checker.
+            area_multiplier: 1.6,
+        }
+    }
+
+    /// Number of encoded registers.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether the encoding covers no register at all.
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// Whether a register is covered by the encoding.
+    pub fn contains(&self, bit: MpuBit) -> bool {
+        self.covered.contains(&bit)
+    }
+}
+
+impl Default for ScfiFsm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Majority-voted replicated MPU configuration registers.
+///
+/// Every configuration bit is stored in three copies behind a majority
+/// voter; a single-bit upset in any one copy is outvoted on the next read,
+/// so a flip on a covered bit **never** lands. Deterministic — no survival
+/// draw is consumed.
+#[derive(Debug, Clone)]
+pub struct DupConfigVote {
+    covered: HashSet<MpuBit>,
+    /// Per-bit area multiplier: two extra DFF copies plus the voter.
+    pub area_multiplier: f64,
+}
+
+impl DupConfigVote {
+    /// Replicate every configuration register.
+    pub fn new() -> Self {
+        Self {
+            covered: MpuBit::all()
+                .into_iter()
+                .filter(|b| b.is_config())
+                .collect(),
+            area_multiplier: 2.2,
+        }
+    }
+
+    /// Number of replicated registers.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether the voter covers no register at all.
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// Whether a register is covered by the voting.
+    pub fn contains(&self, bit: MpuBit) -> bool {
+        self.covered.contains(&bit)
+    }
+}
+
+impl Default for DupConfigVote {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A hardening countermeasure the fault flow understands.
+///
+/// Every variant answers the same two questions the flow asks: does a
+/// would-be flip on a bit survive the countermeasure (applied in
+/// `conclude_with` *before* classification, so the analytic/RTL split sees
+/// the post-hardening error set), and what does the countermeasure cost in
+/// area.
+#[derive(Debug, Clone)]
+pub enum HardenedVariant {
+    /// The paper's §6 study: uniformly resilient DFFs on selected bits.
+    Uniform(HardenedSet),
+    /// SCFI-style encoded control/FSM state ([`ScfiFsm`]).
+    ScfiFsm(ScfiFsm),
+    /// Majority-voted replicated configuration registers
+    /// ([`DupConfigVote`]).
+    DupConfigVote(DupConfigVote),
+}
+
+impl HardenedVariant {
+    /// Short name used in reports and the scenario matrix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HardenedVariant::Uniform(_) => "uniform",
+            HardenedVariant::ScfiFsm(_) => "scfi_fsm",
+            HardenedVariant::DupConfigVote(_) => "dup_config_vote",
+        }
+    }
+
+    /// Whether a would-be flip on `bit` survives the countermeasure.
+    ///
+    /// Deterministic variants must not consume survival draws, and
+    /// stochastic variants must consume exactly one per covered bit — the
+    /// per-run stream discipline all three kernels rely on.
+    pub fn flip_survives(&self, bit: MpuBit, rng: &mut impl Rng) -> bool {
+        match self {
+            HardenedVariant::Uniform(set) => set.flip_survives(bit, rng),
+            HardenedVariant::ScfiFsm(scfi) => {
+                if !scfi.covered.contains(&bit) {
+                    return true;
+                }
+                rng.gen::<f64>() < scfi.miss_rate
+            }
+            HardenedVariant::DupConfigVote(vote) => !vote.covered.contains(&bit),
+        }
+    }
+
+    /// The fractional area increase of the MPU from this countermeasure.
+    pub fn area_overhead(&self, model: &SystemModel) -> f64 {
+        let total = model.mpu.netlist().stats().area;
+        let added = match self {
+            HardenedVariant::Uniform(set) => {
+                return set.area_overhead(model);
+            }
+            HardenedVariant::ScfiFsm(scfi) => {
+                scfi.covered.len() as f64 * CellKind::Dff.area() * (scfi.area_multiplier - 1.0)
+            }
+            HardenedVariant::DupConfigVote(vote) => {
+                vote.covered.len() as f64 * CellKind::Dff.area() * (vote.area_multiplier - 1.0)
+            }
+        };
+        added / total
+    }
+}
+
 /// Rank registers by their SSF attribution (descending) and select the top
 /// `fraction` of all registers. Returns the selected bits and the fraction
 /// of total attribution they cover — the paper's "3% of registers
@@ -151,6 +321,61 @@ mod tests {
             "hardening 3% of registers costs {:.1}% area",
             overhead * 100.0
         );
+    }
+
+    #[test]
+    fn scfi_covers_exactly_the_non_config_state() {
+        let scfi = ScfiFsm::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for bit in MpuBit::all() {
+            assert_eq!(scfi.contains(bit), !bit.is_config(), "{bit:?}");
+            let v = HardenedVariant::ScfiFsm(scfi.clone());
+            if bit.is_config() {
+                // Uncovered: always flips, never consumes a draw.
+                assert!(v.flip_survives(bit, &mut rng));
+            }
+        }
+        // Covered bits escape the code only at the miss rate.
+        let v = HardenedVariant::ScfiFsm(ScfiFsm::with_miss_rate(0.05));
+        let survived = (0..10_000)
+            .filter(|_| v.flip_survives(MpuBit::PipeValid, &mut rng))
+            .count();
+        let rate = survived as f64 / 10_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "miss rate {rate}");
+    }
+
+    #[test]
+    fn config_voting_is_deterministic_and_total_on_config_bits() {
+        let v = HardenedVariant::DupConfigVote(DupConfigVote::new());
+        let mut rng = StdRng::seed_from_u64(4);
+        for bit in MpuBit::all() {
+            assert_eq!(v.flip_survives(bit, &mut rng), !bit.is_config(), "{bit:?}");
+        }
+        // No survival draw was consumed: the stream is still at its head.
+        let mut twin = StdRng::seed_from_u64(4);
+        assert_eq!(rng.gen::<u64>(), twin.gen::<u64>());
+    }
+
+    #[test]
+    fn variant_area_overheads_are_sane() {
+        let model = SystemModel::with_defaults().unwrap();
+        let uniform = HardenedVariant::Uniform(HardenedSet::new(
+            [MpuBit::Violation, MpuBit::Enable],
+            HardeningModel::default(),
+        ));
+        let scfi = HardenedVariant::ScfiFsm(ScfiFsm::new());
+        let vote = HardenedVariant::DupConfigVote(DupConfigVote::new());
+        for v in [&uniform, &scfi, &vote] {
+            let overhead = v.area_overhead(&model);
+            assert!(overhead > 0.0, "{} overhead {overhead}", v.name());
+            assert!(overhead < 0.6, "{} overhead {overhead}", v.name());
+        }
+        // Voting every config register must cost more than hardening two
+        // bits uniformly.
+        assert!(vote.area_overhead(&model) > uniform.area_overhead(&model));
+        assert_eq!(uniform.name(), "uniform");
+        assert_eq!(scfi.name(), "scfi_fsm");
+        assert_eq!(vote.name(), "dup_config_vote");
     }
 
     #[test]

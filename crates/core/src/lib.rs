@@ -50,6 +50,7 @@
 //!     eval: &eval,
 //!     prechar: &prechar,
 //!     hardening: None,
+//!     multi_fault: None,
 //! };
 //! let result = run_campaign(&runner, &strategy, 2_000, 42);
 //! println!("SSF = {:.5} (variance {:.3e})", result.ssf, result.sample_variance);

@@ -559,6 +559,7 @@ impl MlmcSummary {
 #[derive(Debug, Default)]
 pub struct MlmcScratch {
     struck: Vec<GateId>,
+    struck2: Vec<GateId>,
     bits: Vec<MpuBit>,
     ff: RtlFastForward,
     flow: FlowScratch,
@@ -592,6 +593,7 @@ fn level0_view<'s>(
     sample: &AttackSample,
     rng: &mut impl Rng,
     struck: &mut Vec<GateId>,
+    struck2: &mut Vec<GateId>,
     bits: &'s mut Vec<MpuBit>,
     ff: &mut RtlFastForward,
     memo: &SharedConclusionMemo,
@@ -616,6 +618,16 @@ fn level0_view<'s>(
         radius: sample.radius,
     };
     spot.impacted_cells_into(&runner.model.placement, struck);
+    if let Some(mf) = runner.multi_fault {
+        // Same stream position as the gate path: one entropy word right
+        // after the primary spot query, before the hardening draws —
+        // coupled pairs therefore see the *same* second spot.
+        let second = mf.second_spot(rng.next_u64());
+        second.impacted_cells_into(&runner.model.placement, struck2);
+        struck.extend_from_slice(struck2);
+        struck.sort_unstable();
+        struck.dedup();
+    }
     let strike_time = sample.strike_time_ps(map.clock_period_ps());
     map.seu_bits_into(struck, te, strike_time, bits);
     runner.conclude_with(te, rng, bits, ff, memo, None)
@@ -625,9 +637,12 @@ fn level0_view<'s>(
 /// memo with every other chunk (the verdict is a pure function of
 /// `(T_e, bits)`, whichever level asked first).
 ///
-/// Level-0 chunks contribute **no** attribution, provenance or
-/// `first_success`: those are gate-level notions (`replay_run` re-executes
-/// the full flow), so only coupled chunks feed them.
+/// Level-0 chunks contribute **no** attribution, trace provenance or
+/// `first_success`: those are gate-level notions, so only coupled chunks
+/// feed them. The one exception is the `--replay` target: when `replay`
+/// names a run in this chunk, its level-0 record is emitted so the replay
+/// cross-check can compare like against like ([`replay_run_level0`]
+/// re-derives it solo).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_chunk_level0(
     runner: &FaultRunner<'_>,
@@ -639,6 +654,7 @@ pub(crate) fn run_chunk_level0(
     scratch: &mut MlmcScratch,
     memo: &SharedConclusionMemo,
     ctr: &mut CounterScratch,
+    replay: Option<u64>,
 ) -> ChunkPartial {
     ctr.begin_chunk();
     let mut p = ChunkPartial {
@@ -646,13 +662,33 @@ pub(crate) fn run_chunk_level0(
         ..ChunkPartial::default()
     };
     let MlmcScratch {
-        struck, bits, ff, ..
+        struck,
+        struck2,
+        bits,
+        ff,
+        ..
     } = scratch;
     for i in start..end {
         let mut rng = SplitMix64::for_run(seed, i as u64);
         let sample = strategy.draw(&mut rng);
         let w = strategy.weight(&sample);
-        let view = level0_view(runner, map, &sample, &mut rng, struck, bits, ff, memo);
+        let view = level0_view(
+            runner, map, &sample, &mut rng, struck, struck2, bits, ff, memo,
+        );
+        if replay == Some(i as u64) {
+            p.provenance.push(ProvenanceRecord {
+                run_index: i as u64,
+                t: sample.t,
+                center: sample.center,
+                radius: sample.radius,
+                phase: sample.phase,
+                te: view.injection_cycle,
+                weight: w,
+                class: view.class,
+                success: view.success,
+                analytic: view.analytic,
+            });
+        }
         match view.class {
             StrikeClass::Masked => p.class_counts.masked += 1,
             StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
@@ -713,6 +749,7 @@ pub(crate) fn run_chunk_level1(
     };
     let MlmcScratch {
         struck,
+        struck2,
         bits,
         ff,
         flow,
@@ -727,7 +764,17 @@ pub(crate) fn run_chunk_level1(
         // isolates the genuine cross-level model gap.
         let mut rng_rtl = rng.clone();
         let gate = runner.run_shared(&sample, &mut rng, flow, Some(memo));
-        let rtl = level0_view(runner, map, &sample, &mut rng_rtl, struck, bits, ff, memo);
+        let rtl = level0_view(
+            runner,
+            map,
+            &sample,
+            &mut rng_rtl,
+            struck,
+            struck2,
+            bits,
+            ff,
+            memo,
+        );
         match gate.class {
             StrikeClass::Masked => p.class_counts.masked += 1,
             StrikeClass::MemoryOnly => p.class_counts.memory_only += 1,
@@ -863,6 +910,7 @@ pub fn coupled_run_with(
     let mut rng_rtl = rng.clone();
     let MlmcScratch {
         struck,
+        struck2,
         bits,
         ff,
         flow,
@@ -870,13 +918,65 @@ pub fn coupled_run_with(
     let gate_success = runner
         .run_shared(&sample, &mut rng, flow, Some(memo))
         .success;
-    let rtl_success =
-        level0_view(runner, map, &sample, &mut rng_rtl, struck, bits, ff, memo).success;
+    let rtl_success = level0_view(
+        runner,
+        map,
+        &sample,
+        &mut rng_rtl,
+        struck,
+        struck2,
+        bits,
+        ff,
+        memo,
+    )
+    .success;
     PairedRecord {
         run_index,
         weight,
         gate_success,
         rtl_success,
+    }
+}
+
+/// Re-derive campaign run `run_index` at **level 0** solo: the same
+/// `SplitMix64::for_run(seed, run_index)` stream, the SEU-map conclusion
+/// path instead of the gate kernel. Under `--estimator mlmc` this is what
+/// a level-0 chunk recorded for the run, so `--replay` must compare
+/// against this — the gate flow's verdict legitimately differs wherever
+/// the level-1 correction term is non-zero.
+pub fn replay_run_level0(
+    runner: &FaultRunner<'_>,
+    map: &SetToSeuMap,
+    strategy: &dyn SamplingStrategy,
+    seed: u64,
+    run_index: u64,
+) -> ProvenanceRecord {
+    let memo = SharedConclusionMemo::default();
+    let mut scratch = MlmcScratch::default();
+    let mut rng = SplitMix64::for_run(seed, run_index);
+    let sample = strategy.draw(&mut rng);
+    let weight = strategy.weight(&sample);
+    let MlmcScratch {
+        struck,
+        struck2,
+        bits,
+        ff,
+        ..
+    } = &mut scratch;
+    let view = level0_view(
+        runner, map, &sample, &mut rng, struck, struck2, bits, ff, &memo,
+    );
+    ProvenanceRecord {
+        run_index,
+        t: sample.t,
+        center: sample.center,
+        radius: sample.radius,
+        phase: sample.phase,
+        te: view.injection_cycle,
+        weight,
+        class: view.class,
+        success: view.success,
+        analytic: view.analytic,
     }
 }
 
@@ -1062,6 +1162,7 @@ mod tests {
             eval: &eval,
             prechar: &prechar,
             hardening: None,
+            multi_fault: None,
         };
         let fd = baseline_distribution(&model, &cfg);
         let strategy = ImportanceSampling::new(
@@ -1103,6 +1204,7 @@ mod tests {
             eval: &eval,
             prechar: &prechar,
             hardening: None,
+            multi_fault: None,
         };
         let fd = baseline_distribution(&model, &cfg);
         let strategy = ImportanceSampling::new(

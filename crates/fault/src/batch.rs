@@ -19,6 +19,7 @@ pub struct LaneStrikes {
     cells: Vec<GateId>,
     times: Vec<f64>,
     query: Vec<GateId>,
+    query2: Vec<GateId>,
 }
 
 impl LaneStrikes {
@@ -42,6 +43,20 @@ impl LaneStrikes {
         placement: &Placement,
         clock_period_ps: f64,
     ) {
+        self.push_sample_with(sample, None, placement, clock_period_ps);
+    }
+
+    /// [`LaneStrikes::push_sample`] with an optional secondary spot (the
+    /// double-glitch mode): the lane's cell list is the sorted, deduplicated
+    /// union of both spot queries — exactly what the scalar path produces
+    /// when it merges the second spot into its struck buffer.
+    pub fn push_sample_with(
+        &mut self,
+        sample: &AttackSample,
+        second: Option<&RadiationSpot>,
+        placement: &Placement,
+        clock_period_ps: f64,
+    ) {
         if self.offsets.is_empty() {
             self.offsets.push(0);
         }
@@ -50,6 +65,12 @@ impl LaneStrikes {
             radius: sample.radius,
         };
         spot.impacted_cells_into(placement, &mut self.query);
+        if let Some(extra) = second {
+            extra.impacted_cells_into(placement, &mut self.query2);
+            self.query.extend_from_slice(&self.query2);
+            self.query.sort_unstable();
+            self.query.dedup();
+        }
         self.cells.extend_from_slice(&self.query);
         self.offsets.push(self.cells.len() as u32);
         self.times.push(sample.strike_time_ps(clock_period_ps));
@@ -134,6 +155,49 @@ mod tests {
         assert_eq!(batch.lanes(), 0);
         batch.push_sample(&s, &p, 1000.0);
         assert_eq!(batch.struck(0), &first[..]);
+    }
+
+    #[test]
+    fn secondary_spot_lane_is_the_sorted_deduped_union() {
+        let n = chain(40);
+        let p = Placement::new(&n);
+        let mut batch = LaneStrikes::default();
+        let s = AttackSample {
+            t: 2,
+            center: p.placeable()[10],
+            radius: 1.5,
+            phase: 3,
+        };
+        // Overlapping secondary spot: the union must dedup the shared cells.
+        let second = RadiationSpot {
+            center: p.placeable()[12],
+            radius: 1.5,
+        };
+        batch.push_sample_with(&s, Some(&second), &p, 1000.0);
+        let mut want = RadiationSpot {
+            center: s.center,
+            radius: s.radius,
+        }
+        .impacted_cells(&p);
+        want.extend(second.impacted_cells(&p));
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(batch.struck(0), &want[..]);
+        // A disjoint far-away secondary contributes its own cells.
+        let far = RadiationSpot {
+            center: p.placeable()[35],
+            radius: 0.0,
+        };
+        batch.push_sample_with(&s, Some(&far), &p, 1000.0);
+        assert!(batch.struck(1).contains(&p.placeable()[35]));
+        // And `None` stays byte-identical to the single-spot path.
+        batch.push_sample(&s, &p, 1000.0);
+        let solo = RadiationSpot {
+            center: s.center,
+            radius: s.radius,
+        }
+        .impacted_cells(&p);
+        assert_eq!(batch.struck(2), &solo[..]);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   probability-mass evaluation (needed for importance-sampling weights),
 //! * [`sample`] — the concrete attack sample `(t, p)`,
 //! * [`batch`] — CSR-packed struck-cell lists for the 64-lane batched
-//!   campaign kernel (one spot query per lane, shared storage).
+//!   campaign kernel (one spot query per lane, shared storage),
+//! * [`multifault`] — the SoK double-glitch mode: a second spot per run,
+//!   correlated in time, independent in space, drawn from a
+//!   deterministically split child stream.
 //!
 //! # Example
 //!
@@ -37,10 +40,12 @@
 
 pub mod batch;
 pub mod distribution;
+pub mod multifault;
 pub mod sample;
 pub mod spot;
 
 pub use batch::LaneStrikes;
 pub use distribution::{AttackDistribution, RadiusDist, SpatialDist, TemporalDist};
+pub use multifault::DoubleGlitch;
 pub use sample::AttackSample;
 pub use spot::RadiationSpot;

@@ -23,6 +23,10 @@ pub const SECRET_ADDR: u16 = 0x7000;
 pub const SECRET_VALUE: u32 = 0x51ec;
 /// The marker value the write scenario tries to plant at [`SECRET_ADDR`].
 pub const ATTACK_VALUE: u32 = 0xbeef;
+/// Address of the trap handler's diagnostic dump word (user-readable).
+pub const DUMP_ADDR: u16 = 0x4c00;
+/// Address of the guard variable armed by the instruction-skip scenario.
+pub const GUARD_ADDR: u16 = 0x5c00;
 
 /// What the attacker is trying to achieve (paper §3.1, scenario 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +37,13 @@ pub enum AttackGoal {
     /// Copy the protected secret into the user-readable leak buffer without
     /// being isolated.
     IllegalRead,
+    /// Trick the trap handler into taking its diagnostic path on a spurious
+    /// MPU fault, dumping privileged register residue into user-readable
+    /// memory, without being isolated.
+    PrivilegeEscalation,
+    /// Make execution skip the guard-arming store so the fall-through leak
+    /// runs, without being isolated.
+    InstructionSkip,
 }
 
 impl AttackGoal {
@@ -43,6 +54,12 @@ impl AttackGoal {
         match self {
             AttackGoal::IllegalWrite => soc.mem_word(SECRET_ADDR) == ATTACK_VALUE && !isolated,
             AttackGoal::IllegalRead => soc.mem_word(LEAK_ADDR) == SECRET_VALUE && !isolated,
+            AttackGoal::PrivilegeEscalation => soc.mem_word(DUMP_ADDR) == SECRET_VALUE && !isolated,
+            AttackGoal::InstructionSkip => {
+                soc.mem_word(GUARD_ADDR) == 0
+                    && soc.mem_word(LEAK_ADDR) == ATTACK_VALUE
+                    && !isolated
+            }
         }
     }
 }
@@ -249,6 +266,126 @@ pub fn dma_exfiltration() -> Workload {
         description: "user-mode process programs the DMA engine to exfiltrate the secret",
         program: assemble(&source).expect("workload must assemble").words,
         goal: AttackGoal::IllegalRead,
+    }
+}
+
+/// The trap-handler privilege-escalation benchmark.
+///
+/// The privileged prologue handles the secret and sloppily leaves it in
+/// `r15` when dropping to user mode. The trap handler classifies MPU faults
+/// by their trap PC: faults inside the window of the program's one
+/// *deliberate* probe are the expected violation and isolate the process;
+/// faults anywhere else "cannot happen", so the handler takes a diagnostic
+/// path that dumps register state — including the privileged residue — into
+/// user-readable memory and skips isolation. A fault attack that corrupts
+/// the MPU configuration makes *legal* warm-up traffic violate, the trap
+/// fires outside the expected window, and the corrupted-state handler leaks
+/// the secret: privilege escalation via corrupted trap-handler state.
+pub fn trap_escalation() -> Workload {
+    let extra = "
+        lw   r15, 0(r3)       ; privileged residue: secret left in a register
+    ";
+    let source = format!(
+        "{prologue}
+    user_entry:
+        {warm}
+        ; ---------------- the attack ----------------
+        li   r10, 0xdead
+    probe_lo:
+        sw   r10, 0x6000(r0)  ; deliberate illegal write: anchors T_t
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+    probe_hi:
+        ecall                 ; normal end of the user program
+    handler:
+        csrrw r12, cause, r0
+        li   r13, 2
+        beq  r12, r13, done   ; ecall path: clean termination
+        csrrw r14, epc, r0    ; MPU fault: where did it fire?
+        li   r13, probe_lo
+        bltu r14, r13, diag   ; before the probe window: unexpected
+        li   r13, probe_hi
+        bltu r14, r13, expected
+    diag:
+        sw   r15, {dump_addr}(r0) ; diagnostic dump leaks the residue
+        nop                   ; drain the MPU pipeline before freezing
+        nop
+        halt
+    expected:
+        li   r13, 1
+        csrrw r0, isolated, r13
+        halt                  ; security response: process isolated
+    done:
+        halt
+        ",
+        prologue = prologue_with(extra),
+        warm = warmup(24),
+        dump_addr = DUMP_ADDR,
+    );
+    Workload {
+        name: "trap_escalation",
+        description: "spurious MPU fault drives the trap handler's diagnostic path, \
+                      leaking privileged register residue",
+        program: assemble(&source).expect("workload must assemble").words,
+        goal: AttackGoal::PrivilegeEscalation,
+    }
+}
+
+/// The instruction-skip benchmark.
+///
+/// The user program arms a guard word, performs one deliberate illegal
+/// probe (anchoring `T_t`; the fault-tolerant handler resumes past it),
+/// re-reads the guard and only falls through to a privileged-tail leak
+/// store when the guard is *not* armed. A fault that corrupts the MPU
+/// configuration (e.g. shrinks region 0 below the guard address while
+/// leaving the leak buffer accessible) silently blocks the arming store —
+/// the classic instruction-skip effect — and the fall-through leak
+/// executes.
+pub fn instruction_skip() -> Workload {
+    let source = format!(
+        "{prologue}
+    user_entry:
+        {warm}
+        ; ---------------- the critical sequence ----------------
+        li   r3, 1
+        sw   r3, {guard_addr}(r0) ; arm the guard: proves the check ran
+        sw   r3, 0x6000(r0)   ; deliberate illegal write: anchors T_t
+        nop
+        nop
+        nop
+        nop
+        li   r4, 0
+        lw   r4, {guard_addr}(r0) ; re-read (a blocked load leaves 0)
+        bne  r4, r0, safe     ; guard armed: skip the leaking tail
+        li   r5, {attack_value}
+        sw   r5, {leak_addr}(r0)  ; reachable only if the arm was skipped
+    safe:
+        ecall
+    handler:
+        csrrw r12, cause, r0
+        li   r13, 1
+        beq  r12, r13, tolerate
+        halt                  ; ecall path: clean termination
+    tolerate:
+        mret                  ; fault-tolerant policy: resume past the fault
+        ",
+        prologue = prologue(),
+        warm = warmup(20),
+        guard_addr = GUARD_ADDR,
+        attack_value = ATTACK_VALUE,
+        leak_addr = LEAK_ADDR,
+    );
+    Workload {
+        name: "instruction_skip",
+        description: "fault-skipped guard store lets the fall-through leak execute",
+        program: assemble(&source).expect("workload must assemble").words,
+        goal: AttackGoal::InstructionSkip,
     }
 }
 
@@ -499,6 +636,118 @@ mod tests {
         assert_eq!(soc.mem_word(LEAK_ADDR), SECRET_VALUE);
         assert_eq!(soc.core.isolated, 0);
         assert!(w.goal.succeeded(&soc));
+    }
+
+    #[test]
+    fn trap_escalation_golden_run_isolates_the_probe() {
+        let w = trap_escalation();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        assert!(run.final_soc.halted(), "must reach halt");
+        let tt = run.first_violation_cycle().expect("violation expected");
+        assert!(tt > 100, "warm-up must precede the attack (T_t = {tt})");
+        // The deliberate probe traps inside the expected window: the
+        // handler isolates instead of taking the diagnostic path.
+        assert_eq!(run.final_soc.core.isolated, 1);
+        assert_ne!(run.final_soc.mem_word(DUMP_ADDR), SECRET_VALUE);
+        assert!(!w.goal.succeeded(&run.final_soc));
+    }
+
+    #[test]
+    fn trap_escalation_goal_detects_success() {
+        let w = trap_escalation();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        let mut forged = run.final_soc.clone();
+        forged.set_mem_word(DUMP_ADDR, SECRET_VALUE);
+        forged.core.isolated = 0;
+        assert!(w.goal.succeeded(&forged));
+        forged.core.isolated = 1;
+        assert!(!w.goal.succeeded(&forged), "isolation defeats the attack");
+    }
+
+    #[test]
+    fn trap_escalation_succeeds_on_a_spurious_violation() {
+        // Corrupt the MPU configuration during the warm-up: legal user
+        // traffic now violates, the trap fires outside the probe window and
+        // the handler's diagnostic path leaks the privileged residue.
+        let w = trap_escalation();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        let tt = run.first_violation_cycle().unwrap();
+        let te = tt - 60; // still inside the warm-up loop
+        let mut soc = run.nearest_checkpoint(te).clone();
+        while soc.cycle < te {
+            soc.step();
+        }
+        soc.step();
+        soc.mpu.config.regions[0].limit = 0x3fff; // injected fault
+        soc.run_until_halt(run.cycles + 500);
+        assert_eq!(soc.mem_word(DUMP_ADDR), SECRET_VALUE);
+        assert_eq!(soc.core.isolated, 0);
+        assert!(w.goal.succeeded(&soc));
+    }
+
+    #[test]
+    fn instruction_skip_golden_run_arms_the_guard() {
+        let w = instruction_skip();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        assert!(run.final_soc.halted(), "must reach halt");
+        let tt = run.first_violation_cycle().expect("violation expected");
+        assert!(tt > 100, "warm-up must precede the attack (T_t = {tt})");
+        assert_eq!(run.final_soc.mem_word(GUARD_ADDR), 1, "guard armed");
+        assert_ne!(run.final_soc.mem_word(LEAK_ADDR), ATTACK_VALUE);
+        assert!(!w.goal.succeeded(&run.final_soc));
+    }
+
+    #[test]
+    fn instruction_skip_goal_detects_success() {
+        let w = instruction_skip();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        let mut forged = run.final_soc.clone();
+        forged.set_mem_word(GUARD_ADDR, 0);
+        forged.set_mem_word(LEAK_ADDR, ATTACK_VALUE);
+        forged.core.isolated = 0;
+        assert!(w.goal.succeeded(&forged));
+        forged.set_mem_word(GUARD_ADDR, 1);
+        assert!(
+            !w.goal.succeeded(&forged),
+            "an armed guard defeats the skip"
+        );
+    }
+
+    #[test]
+    fn instruction_skip_succeeds_when_the_guard_store_is_blocked() {
+        // Shrink region 0 below the guard address (but above the leak
+        // buffer) just before the critical sequence: the arming store is
+        // silently skipped and the fall-through leak executes.
+        let w = instruction_skip();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        let tt = run.first_violation_cycle().unwrap();
+        let te = tt - 8;
+        let mut soc = run.nearest_checkpoint(te).clone();
+        while soc.cycle < te {
+            soc.step();
+        }
+        soc.step();
+        soc.mpu.config.regions[0].limit = 0x4fff; // injected fault
+        soc.run_until_halt(run.cycles + 500);
+        assert_eq!(soc.mem_word(GUARD_ADDR), 0, "arming store was blocked");
+        assert_eq!(soc.mem_word(LEAK_ADDR), ATTACK_VALUE);
+        assert_eq!(soc.core.isolated, 0);
+        assert!(w.goal.succeeded(&soc));
+    }
+
+    #[test]
+    fn write_and_read_goals_require_no_isolation() {
+        let w = illegal_write();
+        let run = GoldenRun::record(&w.program, 5_000, 32);
+        let mut forged = run.final_soc.clone();
+        forged.set_mem_word(SECRET_ADDR, ATTACK_VALUE);
+        forged.set_mem_word(LEAK_ADDR, SECRET_VALUE);
+        forged.core.isolated = 1;
+        assert!(!AttackGoal::IllegalWrite.succeeded(&forged));
+        assert!(!AttackGoal::IllegalRead.succeeded(&forged));
+        forged.core.isolated = 0;
+        assert!(AttackGoal::IllegalWrite.succeeded(&forged));
+        assert!(AttackGoal::IllegalRead.succeeded(&forged));
     }
 
     #[test]

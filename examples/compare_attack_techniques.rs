@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
 
     let subblock = subblock_cells(&model, cfg.subblock_fraction);

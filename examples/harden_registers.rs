@@ -16,7 +16,7 @@
 
 use xlmc::estimator::run_campaign;
 use xlmc::flow::FaultRunner;
-use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
+use xlmc::harden::{select_top_registers, HardenedSet, HardenedVariant, HardeningModel};
 use xlmc::sampling::{baseline_distribution, ExperimentConfig, ImportanceSampling};
 use xlmc::{Evaluation, Precharacterization, SystemModel};
 use xlmc_soc::workloads;
@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
     let n = 6_000;
     let baseline = run_campaign(&runner, &strategy, n, 7);
@@ -55,10 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for fraction in [0.01, 0.03, 0.10] {
         let (bits, coverage) = select_top_registers(&baseline.attribution, total_regs, fraction);
-        let hardened = HardenedSet::new(bits.clone(), HardeningModel::default());
+        let hardened =
+            HardenedVariant::Uniform(HardenedSet::new(bits.clone(), HardeningModel::default()));
         let overhead = hardened.area_overhead(&model);
         let hardened_runner = FaultRunner {
             hardening: Some(&hardened),
+            multi_fault: None,
             ..runner
         };
         let after = run_campaign(&hardened_runner, &strategy, n, 8);

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
     let mut rng = StdRng::seed_from_u64(1);
 

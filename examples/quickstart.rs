@@ -73,6 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
     let result = run_campaign_with(&runner, &strategy, 2_000, 42, &CampaignOptions::from_args());
 

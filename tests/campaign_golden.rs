@@ -65,6 +65,7 @@ fn check(strategy: &dyn SamplingStrategy, golden_ssf: u64, golden_var: u64) {
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     for kernel in [
         CampaignKernel::Compiled,
@@ -155,6 +156,7 @@ fn mlmc_importance_campaign_matches_golden() {
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     // ssf 0.018154774746748918, variance 7.159919e-3, correction mean 0.0
     // (the static SetToSeuMap is exact on this fixture, so the pinned
@@ -215,4 +217,69 @@ fn full_importance_campaign_matches_golden() {
     );
     // ssf 0.01776518304420538, variance 5.365679e-3
     check(&strategy, 0x3f92310940bab100, 0x3f75fa526b7cde96);
+}
+
+/// The double-glitch campaign keeps the engine's determinism contract:
+/// the secondary strike's entropy word is split off each run's own stream,
+/// so the full `(ssf, variance, successes)` triple is bit-identical across
+/// all three kernels and both thread counts. The first configuration acts
+/// as the reference — a kernel- or thread-dependent divergence in either
+/// strike draw shows up as a bit diff here.
+#[test]
+fn double_glitch_campaign_is_bit_identical_across_kernels_and_threads() {
+    let f = fixture();
+    let fd = baseline_distribution(&f.model, &f.cfg);
+    let glitch = xlmc_fault::DoubleGlitch::new(fd.spatial.clone(), fd.radius.clone());
+    let strategy = ImportanceSampling::new(
+        fd,
+        &f.model,
+        &f.prechar,
+        f.cfg.alpha,
+        f.cfg.beta,
+        f.cfg.radius_options.clone(),
+    );
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &f.write_eval,
+        prechar: &f.prechar,
+        hardening: None,
+        multi_fault: Some(&glitch),
+    };
+    let mut reference: Option<(u64, u64, usize)> = None;
+    for kernel in [
+        CampaignKernel::Compiled,
+        CampaignKernel::Batched,
+        CampaignKernel::Scalar,
+    ] {
+        for threads in [1usize, 4] {
+            let opts = CampaignOptions {
+                threads,
+                ..CampaignOptions::with_kernel(kernel)
+            };
+            let r = run_campaign_with(&runner, &strategy, RUNS, SEED, &opts);
+            assert!(r.ssf.is_finite() && r.sample_variance.is_finite());
+            let triple = (r.ssf.to_bits(), r.sample_variance.to_bits(), r.successes);
+            match reference {
+                None => reference = Some(triple),
+                Some(want) => assert_eq!(
+                    triple, want,
+                    "double glitch ({kernel:?}, threads {threads}) diverged from the \
+                     compiled single-thread reference"
+                ),
+            }
+        }
+    }
+    // The mode must actually engage: at this pinned seed the widened
+    // error sets change the estimate relative to the single-spot campaign.
+    let single = FaultRunner {
+        multi_fault: None,
+        ..runner
+    };
+    let base = run_campaign_with(&single, &strategy, RUNS, SEED, &CampaignOptions::default());
+    let (dg_ssf, _, _) = reference.unwrap();
+    assert_ne!(
+        dg_ssf,
+        base.ssf.to_bits(),
+        "double glitch left the estimate untouched — the mode never engaged"
+    );
 }

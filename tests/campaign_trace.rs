@@ -59,6 +59,7 @@ fn runner(f: &Fixture) -> FaultRunner<'_> {
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     }
 }
 

@@ -205,6 +205,7 @@ fn three_level_verdict_matrix_stays_pinned() {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
     let memo = SharedConclusionMemo::default();
     let mut coupled = MlmcScratch::default();

@@ -68,6 +68,7 @@ fn all_strategies_agree_on_the_write_benchmark() {
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let results: Vec<_> = strategies(f)
         .iter()
@@ -96,6 +97,7 @@ fn importance_sampling_reduces_variance_on_both_benchmarks() {
             eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let strats = strategies(f);
         let random = run_campaign(&runner, strats[0].as_ref(), 1_200, 77);
@@ -118,6 +120,7 @@ fn read_benchmark_has_nonzero_ssf_too() {
         eval: &f.read_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let strats = strategies(f);
     let r = run_campaign(&runner, strats[2].as_ref(), 900, 5);
@@ -133,6 +136,7 @@ fn campaigns_are_reproducible_end_to_end() {
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let strats = strategies(f);
     let a = run_campaign(&runner, strats[2].as_ref(), 400, 123);
@@ -144,13 +148,14 @@ fn campaigns_are_reproducible_end_to_end() {
 
 #[test]
 fn hardening_reduces_ssf_end_to_end() {
-    use xlmc::harden::{select_top_registers, HardenedSet, HardeningModel};
+    use xlmc::harden::{select_top_registers, HardenedSet, HardenedVariant, HardeningModel};
     let f = fixture();
     let runner = FaultRunner {
         model: &f.model,
         eval: &f.write_eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let strats = strategies(f);
     let baseline = run_campaign(&runner, strats[2].as_ref(), 1_200, 9);
@@ -159,11 +164,12 @@ fn hardening_reduces_ssf_end_to_end() {
     let total = f.model.mpu.netlist().dffs().len();
     let (bits, coverage) = select_top_registers(&baseline.attribution, total, 0.05);
     assert!(coverage > 0.3, "top registers should cover real SSF mass");
-    let hardened = HardenedSet::new(bits, HardeningModel::default());
+    let hardened = HardenedVariant::Uniform(HardenedSet::new(bits, HardeningModel::default()));
     assert!(hardened.area_overhead(&f.model) < 0.10);
 
     let hardened_runner = FaultRunner {
         hardening: Some(&hardened),
+        multi_fault: None,
         ..runner
     };
     let after = run_campaign(&hardened_runner, strats[2].as_ref(), 1_200, 9);

@@ -89,6 +89,7 @@ proptest! {
             eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let fd = baseline_distribution(&f.model, &f.cfg);
         let mut ff_on = FlowScratch::default();
@@ -143,6 +144,7 @@ fn fast_forward_engages_on_repeated_strikes() {
         eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let fd = baseline_distribution(&f.model, &f.cfg);
     let mut scratch = FlowScratch::default();
@@ -174,6 +176,7 @@ fn campaign_results_match_with_fast_forward_off() {
         eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let strategy = RandomSampling::new(baseline_distribution(&f.model, &f.cfg));
     for kernel in [

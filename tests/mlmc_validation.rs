@@ -19,7 +19,7 @@ use std::sync::OnceLock;
 use xlmc::estimator::{run_campaign_with, CampaignOptions, EstimatorKind, CHUNK_RUNS};
 use xlmc::fastforward::SharedConclusionMemo;
 use xlmc::flow::FaultRunner;
-use xlmc::harden::{HardenedSet, HardeningModel};
+use xlmc::harden::{HardenedSet, HardenedVariant, HardeningModel};
 use xlmc::multilevel::{coupled_run_with, MlmcScratch, SetToSeuMap};
 use xlmc::sampling::{baseline_distribution, ExperimentConfig, ImportanceSampling};
 use xlmc::stats::RunningStats;
@@ -122,11 +122,11 @@ fn assert_within_three_sigma(runner: &FaultRunner<'_>, label: &str) {
     );
 }
 
-fn hardened_set() -> HardenedSet {
-    HardenedSet::new(
+fn hardened_set() -> HardenedVariant {
+    HardenedVariant::Uniform(HardenedSet::new(
         [MpuBit::Violation, MpuBit::Enable],
         HardeningModel::default(),
-    )
+    ))
 }
 
 #[test]
@@ -143,6 +143,7 @@ fn mlmc_matches_oracle_on_illegal_write() {
             eval: &eval,
             prechar: &f.prechar,
             hardening,
+            multi_fault: None,
         };
         assert_within_three_sigma(&runner, label);
     }
@@ -162,6 +163,7 @@ fn mlmc_matches_oracle_on_illegal_read() {
             eval: &eval,
             prechar: &f.prechar,
             hardening,
+            multi_fault: None,
         };
         assert_within_three_sigma(&runner, label);
     }
@@ -178,9 +180,66 @@ fn mlmc_matches_oracle_on_dma_exfiltration() {
             eval: &eval,
             prechar: &f.prechar,
             hardening,
+            multi_fault: None,
         };
         assert_within_three_sigma(&runner, label);
     }
+}
+
+/// Regression: `--replay N` on an MLMC campaign must compare at the level
+/// the campaign evaluated run `N`, not by re-running the gate flow. The
+/// target here is deliberately a pilot level-0 run whose gate and RTL
+/// verdicts differ — replaying the wrong level would fail the in-engine
+/// cross-check (it panics on divergence).
+#[test]
+fn replay_of_a_level0_run_compares_at_level_zero() {
+    let f = fixture();
+    // illegal_read is the fixture workload with a non-empty cross-level
+    // gap inside the pilot's level-0 chunks at this seed.
+    let eval = Evaluation::new(workloads::illegal_read()).unwrap();
+    let runner = FaultRunner {
+        model: &f.model,
+        eval: &eval,
+        prechar: &f.prechar,
+        hardening: None,
+        multi_fault: None,
+    };
+    let strategy = importance(f);
+
+    // Pilot level-0 chunks are the odd pilot indices: chunks 1 and 3.
+    let map = SetToSeuMap::build(&f.model, &eval, &f.prechar);
+    let memo = SharedConclusionMemo::default();
+    let mut scratch = MlmcScratch::default();
+    let target = [1usize, 3]
+        .iter()
+        .flat_map(|&c| c * CHUNK_RUNS..(c + 1) * CHUNK_RUNS)
+        .find(|&i| {
+            let rec = coupled_run_with(
+                &runner,
+                &map,
+                &strategy,
+                SEED,
+                i as u64,
+                &mut scratch,
+                &memo,
+            );
+            rec.gate_success != rec.rtl_success
+        })
+        .expect("a pilot level-0 run where the levels disagree") as u64;
+
+    let options = CampaignOptions {
+        replay: Some(target),
+        ..mlmc_options()
+    };
+    // Panics inside the engine's cross-check if the replay re-derives the
+    // wrong level's verdict.
+    let result = run_campaign_with(&runner, &strategy, RUNS, SEED, &options);
+    let m = result.mlmc.as_ref().expect("mlmc summary present");
+    assert_eq!(
+        m.chunk_levels[target as usize / CHUNK_RUNS],
+        0,
+        "the probed run must sit in a level-0 chunk"
+    );
 }
 
 /// Replay every coupled run solo and reproduce the campaign's folded
@@ -195,6 +254,7 @@ fn correction_term_reproduces_from_raw_paired_records() {
         eval: &eval,
         prechar: &f.prechar,
         hardening: None,
+        multi_fault: None,
     };
     let strategy = importance(f);
     let result = run_campaign_with(&runner, &strategy, RUNS, SEED, &mlmc_options());

@@ -446,6 +446,7 @@ proptest! {
             eval: &f.eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let strategy = strategy_for(f, strategy_idx);
         let memo = SharedConclusionMemo::default();
@@ -505,6 +506,7 @@ proptest! {
             eval: &f.eval,
             prechar: &f.prechar,
             hardening: None,
+            multi_fault: None,
         };
         let fd = baseline_distribution(&f.model, &f.cfg);
         let strategy: Box<dyn SamplingStrategy> = match strategy_idx {

@@ -140,6 +140,7 @@ fn dma_benchmark_evaluates_end_to_end() {
         eval: &eval,
         prechar: &prechar,
         hardening: None,
+        multi_fault: None,
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let out = runner.run(
