@@ -127,6 +127,12 @@ fn engine(
     if let Some(p) = &opts.trace_path {
         opts.trace_path = Some(tagged_path(p, &label));
     }
+    if let Some(p) = &opts.events_path {
+        opts.events_path = Some(tagged_path(p, &label));
+    }
+    if let Some(p) = &opts.prom_path {
+        opts.prom_path = Some(tagged_path(p, &label));
+    }
     let mut progress = StderrProgress::new(&label);
     let start = Instant::now();
     let r = run_campaign_observed(runner, strategy, runs, SEED, &opts, &mut progress);
@@ -281,6 +287,37 @@ fn main() {
         ));
     }
 
+    // The telemetry ablation: compiled kernel with the event stream and
+    // the Prometheus exposition forced on. Telemetry is specified as a
+    // pure observer, so the overhead gate below holds its throughput
+    // against the bare compiled row.
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let telemetry_opts = CampaignOptions {
+        events_path: Some(
+            base_opts
+                .events_path
+                .clone()
+                .unwrap_or_else(|| tmp.join(format!("bench_campaign_{pid}.events.jsonl"))),
+        ),
+        prom_path: Some(
+            base_opts
+                .prom_path
+                .clone()
+                .unwrap_or_else(|| tmp.join(format!("bench_campaign_{pid}.prom"))),
+        ),
+        ..base_opts.clone()
+    };
+    rows.push(engine_best(
+        &runner,
+        &strategy,
+        runs,
+        1,
+        CampaignKernel::Compiled,
+        "engine_telemetry_threads_1".into(),
+        &telemetry_opts,
+    ));
+
     // The gate-level path in isolation: strike-only passes over one
     // stratified draw, per kernel. This is the comparison the compiled
     // kernel exists for — end-to-end rows dilute it with the scalar
@@ -422,6 +459,16 @@ fn main() {
         "fast-forward changed the result: ssf {} != {} with it off",
         batched.ssf,
         noff.ssf
+    );
+    let telemetry = rows
+        .iter()
+        .find(|r| r.label == "engine_telemetry_threads_1")
+        .expect("telemetry row");
+    assert!(
+        telemetry.ssf == compiled.ssf,
+        "telemetry changed the result: ssf {} with events+prom != {} without",
+        telemetry.ssf,
+        compiled.ssf
     );
     let mlmc_t1 = rows
         .iter()
@@ -583,6 +630,21 @@ fn main() {
                 compiled_t2.runs_per_sec, compiled.runs_per_sec
             );
             std::process::exit(1);
+        } else if base_opts.events_path.is_none()
+            && telemetry.runs_per_sec < 0.95 * compiled.runs_per_sec
+        {
+            // Telemetry-overhead gate, armed only when the base options
+            // leave events off (with --events set every row already pays
+            // for the stream and the comparison is vacuous). Events and
+            // prom writes happen on the merge thread at chunk/checkpoint
+            // cadence, so a >5% hit means telemetry leaked into the hot
+            // path.
+            eprintln!(
+                "SMOKE FAIL: telemetry (events + prom) cost more than 5% of compiled \
+                 throughput ({:.0} runs/s vs {:.0} runs/s without it)",
+                telemetry.runs_per_sec, compiled.runs_per_sec
+            );
+            std::process::exit(1);
         } else if batched.runs_per_sec < 0.85 * noff.runs_per_sec {
             // A 15% allowance: at smoke scale the conclusion memo only
             // skips a few percent of the RTL resumes, so the true
@@ -602,12 +664,13 @@ fn main() {
             println!(
                 "smoke ok: gate path compiled {gp_ratio:.2}x batched (>= 1.2x), end-to-end \
                  compiled {:.0} / batched {:.0} / scalar {:.0} runs/s, fast-forward {:.0} \
-                 runs/s >= {:.0} runs/s without it",
+                 runs/s >= {:.0} runs/s without it, telemetry {:.2}x compiled",
                 compiled.runs_per_sec,
                 batched.runs_per_sec,
                 scalar.runs_per_sec,
                 batched.runs_per_sec,
-                noff.runs_per_sec
+                noff.runs_per_sec,
+                telemetry.runs_per_sec / compiled.runs_per_sec
             );
         }
     } else {

@@ -153,6 +153,12 @@ pub fn run_observed_campaign(
     if let Some(p) = &opts.trace_path {
         opts.trace_path = Some(tagged_path(p, &tag));
     }
+    if let Some(p) = &opts.events_path {
+        opts.events_path = Some(tagged_path(p, &tag));
+    }
+    if let Some(p) = &opts.prom_path {
+        opts.prom_path = Some(tagged_path(p, &tag));
+    }
     let mut progress = StderrProgress::new(tag);
     run_campaign_observed(runner, strategy, n, seed, &opts, &mut progress)
 }

@@ -76,3 +76,43 @@ fn valid_document_exits_zero() {
     let out = run(&[schema.to_str().unwrap(), doc.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
 }
+
+#[test]
+fn jsonl_mode_validates_every_line_and_skips_blanks() {
+    let schema = tmp_file(
+        "jsonl_schema.json",
+        r#"{"type": "object", "required": ["event"], "properties": {"event": {"type": "string"}}}"#,
+    );
+    let doc = tmp_file(
+        "jsonl_ok.jsonl",
+        "{\"event\": \"a\"}\n\n{\"event\": \"b\", \"seq\": 1}\n",
+    );
+    let out = run(&["--jsonl", schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("2 lines"), "line count missing: {stdout}");
+}
+
+#[test]
+fn jsonl_mode_reports_the_violating_line_number() {
+    let schema = tmp_file(
+        "jsonl_viol_schema.json",
+        r#"{"type": "object", "required": ["event"]}"#,
+    );
+    let doc = tmp_file("jsonl_viol.jsonl", "{\"event\": \"a\"}\n{\"other\": 1}\n");
+    let out = run(&["--jsonl", schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(1), "stderr: {err}");
+    assert!(err.contains(":2: FAIL"), "no line number in: {err}");
+}
+
+#[test]
+fn jsonl_mode_rejects_a_torn_line_as_invalid_json() {
+    let schema = tmp_file("jsonl_torn_schema.json", r#"{"type": "object"}"#);
+    let doc = tmp_file("jsonl_torn.jsonl", "{\"event\": \"a\"}\n{\"event\": \"b\"");
+    let out = run(&["--jsonl", schema.to_str().unwrap(), doc.to_str().unwrap()]);
+    let err = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {err}");
+    assert!(err.contains("not valid JSON"), "unreadable message: {err}");
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}

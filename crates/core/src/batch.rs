@@ -33,6 +33,7 @@ use xlmc_soc::MpuBit;
 use crate::estimator::{fold_run, CampaignKernel, ChunkPartial, RunObs};
 use crate::fastforward::{ConclusionFront, FastForwardStats, RtlFastForward, SharedConclusionMemo};
 use crate::flow::{FaultRunner, StrikeClass};
+use crate::metrics::{LatencyHist, LatencyShard};
 use crate::rng::SplitMix64;
 use crate::sampling::SamplingStrategy;
 use crate::trace::{CounterScratch, KernelCounters, TraceSink};
@@ -134,6 +135,9 @@ pub(crate) struct BatchChunkScratch {
     /// Compiled-kernel buffers (used by [`run_chunk_compiled`] only).
     ctransient: CompiledTransientScratch,
     cstrike_out: CompiledStrikeOutcome,
+    /// Wall-clock latency of each packed transient sweep — pure
+    /// telemetry, harvested per chunk into the chunk partial.
+    sweep_hist: LatencyHist,
 }
 
 impl BatchChunkScratch {
@@ -151,6 +155,17 @@ impl BatchChunkScratch {
     /// `(front hits, shared-memo fallbacks)` of this worker's memo front.
     pub(crate) fn memo_front_stats(&self) -> (u64, u64) {
         self.front.contention_stats()
+    }
+
+    /// Drain the latency observations accumulated since the last call
+    /// (kernel sweeps plus fast-forward positioning) into a shard the
+    /// campaign engine attaches to the finished chunk's partial.
+    pub(crate) fn take_latency(&mut self) -> LatencyShard {
+        LatencyShard {
+            kernel_sweep: std::mem::take(&mut self.sweep_hist),
+            snapshot_restore: self.ff.take_restore_latency(),
+            ..LatencyShard::default()
+        }
     }
 }
 
@@ -290,6 +305,7 @@ pub(crate) fn run_chunk_batched(
                 strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
             })
             .collect();
+        let t_sweep = Instant::now();
         runner.model.transient.strike_batch_with(
             netlist,
             &groups,
@@ -297,6 +313,7 @@ pub(crate) fn run_chunk_batched(
             &mut scratch.transient,
             &mut scratch.strike_out,
         );
+        scratch.sweep_hist.record(t_sweep.elapsed().as_secs_f64());
         drop(lanes);
         kc.lane_batches += 1;
         kc.lanes_occupied += batch.len();
@@ -453,6 +470,7 @@ pub(crate) fn run_chunk_compiled(
                 strike_time_ps: scratch.lane_strikes.strike_time_ps(l),
             })
             .collect();
+        let t_sweep = Instant::now();
         runner.model.transient.strike_compiled_with(
             netlist,
             program,
@@ -461,6 +479,7 @@ pub(crate) fn run_chunk_compiled(
             &mut scratch.ctransient,
             &mut scratch.cstrike_out,
         );
+        scratch.sweep_hist.record(t_sweep.elapsed().as_secs_f64());
         drop(lanes);
         kc.lane_batches += 1;
         kc.lanes_occupied += batch.len();

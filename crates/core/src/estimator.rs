@@ -18,6 +18,8 @@ pub use crate::batch::{gate_path_bench, GatePathBench};
 use crate::batch::{run_chunk_batched, run_chunk_compiled, BatchChunkScratch, SharedCycleCache};
 use crate::fastforward::{FastForwardStats, SharedConclusionMemo};
 use crate::flow::{FaultRunner, FlowScratch, StrikeClass};
+use crate::json::{bits_str, json_num};
+use crate::metrics::{self, EventLog, LatencyShard, MetricsRegistry, MlmcProgress, StallWatchdog};
 use crate::multilevel::{
     self, MlmcEstimator, MlmcPlan, MlmcScratch, MlmcSummary, SetToSeuMap, LEVEL_GATE, LEVEL_RTL,
 };
@@ -37,7 +39,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xlmc_fault::AttackSample;
 use xlmc_soc::MpuBit;
 
@@ -297,6 +299,20 @@ pub struct CampaignOptions {
     /// golden-reconvergence early exit (`--fast-forward on|off`). A pure
     /// scheduling choice: results are bit-identical either way.
     pub fast_forward: bool,
+    /// Where to append the streaming lifecycle event log (`--events`):
+    /// one JSON object per line, flushed per line, pinned by
+    /// `schemas/events.schema.json`. A pure observer — results are
+    /// bit-identical with the log on or off.
+    pub events_path: Option<PathBuf>,
+    /// Where to write the Prometheus text exposition (`--prom`): the
+    /// metrics registry rendered atomically (temp + rename) at checkpoint
+    /// cadence and once at the end. Also a pure observer.
+    pub prom_path: Option<PathBuf>,
+    /// Stall watchdog budget in seconds (`--stall-timeout`): if the
+    /// multi-thread merge loop sees no chunk within this budget, a
+    /// `worker_stalled` event with a per-worker state dump is emitted
+    /// (requires `--events`; `0` disables).
+    pub stall_timeout_s: f64,
 }
 
 impl Default for CampaignOptions {
@@ -314,6 +330,9 @@ impl Default for CampaignOptions {
             trace_path: None,
             replay: None,
             fast_forward: true,
+            events_path: None,
+            prom_path: None,
+            stall_timeout_s: 30.0,
         }
     }
 }
@@ -369,6 +388,9 @@ impl CampaignOptions {
         "--trace",
         "--replay",
         "--fast-forward",
+        "--events",
+        "--prom",
+        "--stall-timeout",
     ];
 
     /// The `--help` flag table: every flag the campaign engine owns.
@@ -389,7 +411,15 @@ impl CampaignOptions {
             "  --target-confidence C  confidence for --target-eps, in (0, 1)\n",
             "                         (default 0.95)\n",
             "  --metrics PATH         write the campaign metrics JSON\n",
-            "                         (xlmc-metrics-v4, schemas/metrics.schema.json)\n",
+            "                         (xlmc-metrics-v5, schemas/metrics.schema.json)\n",
+            "  --events PATH          stream the lifecycle event log as JSONL\n",
+            "                         (schemas/events.schema.json), one flushed line\n",
+            "                         per event; results are bit-identical on or off\n",
+            "  --prom PATH            write the Prometheus text exposition, rewritten\n",
+            "                         atomically at checkpoint cadence and at the end\n",
+            "  --stall-timeout SECS   emit a worker_stalled event when the threaded\n",
+            "                         merge loop sees no chunk for SECS seconds\n",
+            "                         (needs --events; 0 disables; default 30)\n",
             "  --fast-forward on|off  RTL fast-forward (exact-cycle snapshot cache +\n",
             "                         golden-reconvergence early exit); results are\n",
             "                         bit-identical either way (default on)\n",
@@ -513,6 +543,20 @@ impl CampaignOptions {
                         }
                     };
                 }
+                "--events" => opts.events_path = Some(PathBuf::from(value)),
+                "--prom" => opts.prom_path = Some(PathBuf::from(value)),
+                "--stall-timeout" => {
+                    let secs: f64 = value.parse().map_err(|_| {
+                        format!("invalid --stall-timeout value {value:?}: expected seconds")
+                    })?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(format!(
+                            "invalid --stall-timeout value {value:?}: must be a non-negative \
+                             number of seconds"
+                        ));
+                    }
+                    opts.stall_timeout_s = secs;
+                }
                 _ => unreachable!("flag list and match arms are in sync"),
             }
         }
@@ -573,6 +617,10 @@ pub(crate) struct ChunkPartial {
     pub(crate) first_success: Option<u64>,
     /// Per-run provenance, in run-index order (empty unless recording).
     pub(crate) provenance: Vec<ProvenanceRecord>,
+    /// Worker-side latency observations (chunk wall time, kernel sweeps,
+    /// snapshot restores). Pure telemetry: taken out before the fold and
+    /// absorbed into the merger's registry, never into the statistics.
+    pub(crate) latency: LatencyShard,
 }
 
 /// Everything `fold_run` needs to know about one executed run.
@@ -1006,6 +1054,75 @@ impl MergeState {
     }
 }
 
+/// What the telemetry fan-out needs to know about one just-merged chunk,
+/// captured before the fold consumes the partial.
+struct ChunkMergeInfo {
+    /// The merged chunk's index.
+    chunk: usize,
+    /// Its level tag ([`LEVEL_GATE`] for single-estimator chunks).
+    level: u8,
+    /// Its primary Welford stream, exactly as folded.
+    stats: RunningStats,
+}
+
+/// The merger-side telemetry fan-out: one [`MetricsRegistry`] feeding the
+/// streaming event log (`--events`), the Prometheus exposition (`--prom`)
+/// and the stall watchdog (`--stall-timeout`). A pure observer — it only
+/// reads the merged state, after the fold, so enabling any surface cannot
+/// change a result bit.
+struct TelemetryHub {
+    registry: MetricsRegistry,
+    events: Option<EventLog>,
+    prom_path: Option<PathBuf>,
+    prom_labels: Vec<(&'static str, String)>,
+    watchdog: Option<StallWatchdog>,
+    plan_emitted: bool,
+}
+
+impl TelemetryHub {
+    fn new(options: &CampaignOptions, strategy: &str, plan_already_frozen: bool) -> Self {
+        let events = options.events_path.as_deref().and_then(|p| {
+            EventLog::create(p)
+                .map_err(|e| eprintln!("failed to create events log {}: {e}", p.display()))
+                .ok()
+        });
+        Self {
+            registry: MetricsRegistry::new(),
+            events,
+            prom_path: options.prom_path.clone(),
+            prom_labels: vec![
+                ("strategy", strategy.to_owned()),
+                ("kernel", options.kernel.as_arg().to_owned()),
+                ("estimator", options.estimator.as_arg().to_owned()),
+            ],
+            watchdog: None,
+            plan_emitted: plan_already_frozen,
+        }
+    }
+
+    /// Append one event line (no-op without `--events`).
+    fn emit(&mut self, event: &str, elapsed_s: f64, extra: &str) {
+        if let Some(log) = self.events.as_mut() {
+            log.emit(event, elapsed_s, extra);
+        }
+    }
+
+    fn flush_events(&mut self) {
+        if let Some(log) = self.events.as_mut() {
+            log.flush();
+        }
+    }
+
+    /// Rewrite the Prometheus exposition (no-op without `--prom`).
+    fn write_prom(&self) {
+        if let Some(path) = &self.prom_path {
+            if let Err(e) = metrics::write_prom(path, &self.registry, &self.prom_labels) {
+                eprintln!("failed to write prom exposition {}: {e}", path.display());
+            }
+        }
+    }
+}
+
 fn validate_checkpoint(
     ck: &CampaignCheckpoint,
     path: &std::path::Path,
@@ -1153,16 +1270,84 @@ pub fn run_campaign_observed(
     let resumed_runs = state.runs_merged();
     let checkpoint_every_chunks = options.checkpoint_every_runs.div_ceil(CHUNK_RUNS).max(1);
 
+    let mut hub = TelemetryHub::new(options, strategy.name(), state.plan_ratio.is_some());
+    hub.emit(
+        "campaign_started",
+        0.0,
+        &format!(
+            ", \"seed\": {seed}, \"requested_runs\": {n}, \"kernel\": \"{}\", \
+             \"estimator\": \"{}\", \"threads\": {}, \"resumed_runs\": {resumed_runs}",
+            options.kernel.as_arg(),
+            options.estimator.as_arg(),
+            options.effective_threads(),
+        ),
+    );
+
     // Everything that happens at a merged chunk boundary, after the fold:
-    // notify the observer, evaluate the stopping rule, write a checkpoint.
-    // Ordering matters for resume determinism — a stop decision precedes
-    // the checkpoint write, so a checkpoint's cursor never passes the
-    // first stopping boundary and a resumed campaign re-derives the exact
-    // same stop point.
-    let boundary = |state: &MergeState, observer: &mut dyn CampaignObserver| {
+    // update the telemetry registry, stream the chunk_merged event, notify
+    // the observer, evaluate the stopping rule, write a checkpoint (and at
+    // the same cadence, flush the event log and rewrite the prom
+    // exposition). Ordering matters for resume determinism — a stop
+    // decision precedes the checkpoint write, so a checkpoint's cursor
+    // never passes the first stopping boundary and a resumed campaign
+    // re-derives the exact same stop point.
+    let boundary = |state: &MergeState,
+                    observer: &mut dyn CampaignObserver,
+                    hub: &mut TelemetryHub,
+                    info: ChunkMergeInfo|
+     -> Option<StopReason> {
         let runs_done = state.runs_merged();
         let elapsed_s = start_time.elapsed().as_secs_f64();
         let fresh = (runs_done - resumed_runs) as f64;
+        let runs_per_sec = if elapsed_s > 0.0 {
+            fresh / elapsed_s
+        } else {
+            0.0
+        };
+        let reg = &mut hub.registry;
+        reg.counter_set("runs_total", runs_done as u64);
+        reg.counter_set("chunks_merged_total", state.merged_chunks as u64);
+        reg.counter_set("successes_total", state.successes as u64);
+        reg.gauge_set("ssf", state.current_ssf());
+        reg.gauge_set("sample_variance", state.current_sample_variance());
+        reg.gauge_set("ess", state.ess());
+        reg.gauge_set("elapsed_seconds", elapsed_s);
+        reg.gauge_set("runs_per_sec", runs_per_sec);
+        if let Some(eps) = options.target_eps {
+            reg.gauge_set("lln_bound", state.lln_bound(eps));
+        }
+        if hub.events.is_some() {
+            // The chunk's exact Welford triple rides along as IEEE-754
+            // bits, so the final SSF is rebuildable from the log alone.
+            let (count, mean, m2) = info.stats.to_raw();
+            let extra = format!(
+                ", \"chunk\": {}, \"level\": {}, \"runs_done\": {runs_done}, \
+                 \"count\": {count}, \"mean_bits\": {}, \"m2_bits\": {}, \"ssf_bits\": {}",
+                info.chunk,
+                info.level,
+                bits_str(mean),
+                bits_str(m2),
+                bits_str(state.current_ssf()),
+            );
+            hub.emit("chunk_merged", elapsed_s, &extra);
+        }
+        if !hub.plan_emitted {
+            if let Some(ratio) = state.plan_ratio {
+                hub.plan_emitted = true;
+                hub.emit(
+                    "plan_frozen",
+                    elapsed_s,
+                    &format!(
+                        ", \"chunk\": {}, \"ratio\": {}",
+                        state.merged_chunks,
+                        json_num(ratio)
+                    ),
+                );
+            }
+        }
+        if let Some(wd) = hub.watchdog.as_mut() {
+            wd.note_progress(Instant::now());
+        }
         let event = ProgressEvent {
             runs_done,
             total_runs: n,
@@ -1175,11 +1360,13 @@ pub fn run_campaign_observed(
             counters: state.counters,
             kernel_counters: state.kernel_counters,
             elapsed_s,
-            runs_per_sec: if elapsed_s > 0.0 {
-                fresh / elapsed_s
-            } else {
-                0.0
-            },
+            runs_per_sec,
+            mlmc: (options.estimator == EstimatorKind::Mlmc).then(|| MlmcProgress {
+                level: info.level,
+                n0: state.level0.count(),
+                n1: state.level1_diff.count(),
+            }),
+            chunk_wall: hub.registry.latency.chunk_wall.summary(),
         };
         if observer.on_progress(&event) == ObserverAction::Abort {
             return Some(StopReason::Aborted);
@@ -1189,21 +1376,47 @@ pub fn run_campaign_observed(
                 && state.levels_ready()
                 && state.lln_bound(eps) <= 1.0 - options.target_confidence
             {
+                hub.emit(
+                    "early_stop",
+                    elapsed_s,
+                    &format!(
+                        ", \"runs_done\": {runs_done}, \"lln_bound\": {}, \"target_eps\": {}",
+                        json_num(state.lln_bound(eps)),
+                        json_num(eps)
+                    ),
+                );
                 return Some(StopReason::TargetEps);
             }
         }
-        if let Some(path) = &options.checkpoint_path {
-            let merged_since_start = state.merged_chunks - start_chunk;
-            if merged_since_start.is_multiple_of(checkpoint_every_chunks)
-                || state.merged_chunks == chunks
-            {
+        let merged_since_start = state.merged_chunks - start_chunk;
+        if merged_since_start.is_multiple_of(checkpoint_every_chunks)
+            || state.merged_chunks == chunks
+        {
+            if let Some(path) = &options.checkpoint_path {
+                let t_ck = Instant::now();
                 state
                     .to_checkpoint(seed, n, strategy.name(), options.kernel)
                     .save(path)
                     .unwrap_or_else(|e| {
                         panic!("failed to write checkpoint {}: {e}", path.display())
                     });
+                hub.registry
+                    .latency
+                    .checkpoint_write
+                    .record(t_ck.elapsed().as_secs_f64());
+                hub.registry.counter_add("checkpoints_written_total", 1);
+                hub.emit(
+                    "checkpoint_written",
+                    start_time.elapsed().as_secs_f64(),
+                    &format!(
+                        ", \"runs_done\": {runs_done}, \"merged_chunks\": {}",
+                        state.merged_chunks
+                    ),
+                );
             }
+            // Durability point: events pushed to the OS, prom rewritten.
+            hub.flush_events();
+            hub.write_prom();
         }
         None
     };
@@ -1270,7 +1483,8 @@ pub fn run_campaign_observed(
          -> ChunkPartial {
             let (start, end) = chunk_bounds(c);
             let _span = sink.span_args(tid, "campaign", "chunk", &[("chunk", c as f64)]);
-            if let Some(map) = seu_map {
+            let chunk_t0 = Instant::now();
+            let mut p = if let Some(map) = seu_map {
                 let level = if c < MlmcEstimator::PILOT_CHUNKS {
                     MlmcEstimator::pilot_level(c)
                 } else {
@@ -1291,7 +1505,7 @@ pub fn run_campaign_observed(
                     };
                     plan.level_of_chunk(c)
                 };
-                return if level == LEVEL_RTL {
+                if level == LEVEL_RTL {
                     multilevel::run_chunk_level0(
                         runner,
                         strategy,
@@ -1317,49 +1531,61 @@ pub fn run_campaign_observed(
                         ctr,
                         record_provenance,
                     )
-                };
-            }
-            match (options.kernel, &cycle_cache) {
-                (CampaignKernel::Compiled, Some(cache)) => run_chunk_compiled(
-                    runner,
-                    strategy,
-                    seed,
-                    start,
-                    end,
-                    batch,
-                    cache,
-                    memo,
-                    ctr,
-                    record_provenance,
-                    sink,
-                    tid,
-                ),
-                (_, Some(cache)) => run_chunk_batched(
-                    runner,
-                    strategy,
-                    seed,
-                    start,
-                    end,
-                    batch,
-                    cache,
-                    memo,
-                    ctr,
-                    record_provenance,
-                    sink,
-                    tid,
-                ),
-                (_, None) => run_chunk(
-                    runner,
-                    strategy,
-                    seed,
-                    start,
-                    end,
-                    flow,
-                    memo,
-                    ctr,
-                    record_provenance,
-                ),
-            }
+                }
+            } else {
+                match (options.kernel, &cycle_cache) {
+                    (CampaignKernel::Compiled, Some(cache)) => run_chunk_compiled(
+                        runner,
+                        strategy,
+                        seed,
+                        start,
+                        end,
+                        batch,
+                        cache,
+                        memo,
+                        ctr,
+                        record_provenance,
+                        sink,
+                        tid,
+                    ),
+                    (_, Some(cache)) => run_chunk_batched(
+                        runner,
+                        strategy,
+                        seed,
+                        start,
+                        end,
+                        batch,
+                        cache,
+                        memo,
+                        ctr,
+                        record_provenance,
+                        sink,
+                        tid,
+                    ),
+                    (_, None) => run_chunk(
+                        runner,
+                        strategy,
+                        seed,
+                        start,
+                        end,
+                        flow,
+                        memo,
+                        ctr,
+                        record_provenance,
+                    ),
+                }
+            };
+            // Harvest worker-side latency into the partial: the shard
+            // rides the same in-order merge the statistics use, keeping
+            // the telemetry deterministic in shape (counts differ only
+            // in wall-clock values, never in which chunk they tag).
+            p.latency.absorb(&flow.take_latency());
+            p.latency.absorb(&batch.take_latency());
+            p.latency.absorb(&mlmc.take_latency());
+            p.latency
+                .chunk_wall
+                .record(chunk_t0.elapsed().as_secs_f64());
+            p
         };
         let front_total = &front_total;
         let fold_ff = |flow: &FlowScratch, batch: &BatchChunkScratch, mlmc: &MlmcScratch| {
@@ -1390,7 +1616,14 @@ pub fn run_campaign_observed(
                 let mut p = run_one(c, &mut flow, &mut batch, &mut mlmc_scratch, &mut ctr, 0);
                 let prov = std::mem::take(&mut p.provenance);
                 let level = p.level;
+                let lat = std::mem::take(&mut p.latency);
+                let info = ChunkMergeInfo {
+                    chunk: c,
+                    level,
+                    stats: p.stats,
+                };
                 state.fold(p, chunk_bounds(c).1);
+                hub.registry.latency.absorb(&lat);
                 if let Some(ratio) = state.plan_ratio {
                     let _ = plan_cell.set(MlmcPlan { ratio });
                 }
@@ -1402,17 +1635,33 @@ pub fn run_campaign_observed(
                     &mut success_log,
                     &mut replay_capture,
                 );
-                if let Some(reason) = boundary(&state, observer) {
+                if let Some(reason) = boundary(&state, observer, &mut hub, info) {
                     stop = reason;
                     break;
                 }
             }
             fold_ff(&flow, &batch, &mlmc_scratch);
         } else {
+            // Arm the stall watchdog only where stalls are observable:
+            // the threaded merge loop, which can wait on recv while
+            // workers grind. Needs the event log (the stall report is an
+            // event) and a positive budget.
+            if hub.events.is_some() && options.stall_timeout_s > 0.0 {
+                hub.watchdog = Some(StallWatchdog::new(
+                    Duration::from_secs_f64(options.stall_timeout_s),
+                    Instant::now(),
+                ));
+            }
+            // Which chunk each worker is currently executing
+            // (`usize::MAX` = idle/between chunks) — the state dump a
+            // worker_stalled event reports.
+            let worker_states: Vec<AtomicUsize> =
+                (0..threads).map(|_| AtomicUsize::new(usize::MAX)).collect();
+            let worker_states = &worker_states;
             let next = AtomicUsize::new(start_chunk);
             let (tx, rx) = std::sync::mpsc::channel::<(usize, ChunkPartial)>();
             std::thread::scope(|s| {
-                for w in 0..threads {
+                for (w, my_chunk) in worker_states.iter().enumerate() {
                     let tx = tx.clone();
                     let run_one = &run_one;
                     let next = &next;
@@ -1434,10 +1683,12 @@ pub fn run_campaign_observed(
                             if c >= chunks {
                                 break;
                             }
+                            my_chunk.store(c, Ordering::Relaxed);
                             // A send fails only when the merger has
                             // stopped and dropped the receiver.
                             let p =
                                 run_one(c, &mut flow, &mut batch, &mut mlmc_scratch, &mut ctr, tid);
+                            my_chunk.store(usize::MAX, Ordering::Relaxed);
                             if tx.send((c, p)).is_err() {
                                 break;
                             }
@@ -1451,15 +1702,66 @@ pub fn run_campaign_observed(
                 let mut pending: BTreeMap<usize, ChunkPartial> = BTreeMap::new();
                 'merge: while state.merged_chunks < chunks {
                     let wait = Instant::now();
-                    let Ok((c, p)) = rx.recv() else { break };
-                    merge_wait_s += wait.elapsed().as_secs_f64();
+                    // With a watchdog armed, wait in budget-sized slices
+                    // so a silent worker pool is reported instead of
+                    // blocking forever unobserved.
+                    let received = loop {
+                        match hub.watchdog.as_ref().map(StallWatchdog::budget) {
+                            None => break rx.recv().ok(),
+                            Some(budget) => match rx.recv_timeout(budget) {
+                                Ok(msg) => break Some(msg),
+                                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                    let now = Instant::now();
+                                    let stalled =
+                                        hub.watchdog.as_mut().and_then(|wd| wd.check(now));
+                                    if let Some(stalled_for) = stalled {
+                                        hub.registry.counter_add("stalls_total", 1);
+                                        let dump: Vec<String> = worker_states
+                                            .iter()
+                                            .map(|st| match st.load(Ordering::Relaxed) {
+                                                usize::MAX => "null".to_owned(),
+                                                c => c.to_string(),
+                                            })
+                                            .collect();
+                                        let extra = format!(
+                                            ", \"stalled_for_s\": {}, \"budget_s\": {}, \
+                                             \"merge_cursor\": {}, \"worker_chunks\": [{}]",
+                                            json_num(stalled_for.as_secs_f64()),
+                                            json_num(options.stall_timeout_s),
+                                            state.merged_chunks,
+                                            dump.join(", "),
+                                        );
+                                        hub.emit(
+                                            "worker_stalled",
+                                            start_time.elapsed().as_secs_f64(),
+                                            &extra,
+                                        );
+                                        hub.flush_events();
+                                    }
+                                }
+                                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break None,
+                            },
+                        }
+                    };
+                    let Some((c, p)) = received else { break };
+                    let waited = wait.elapsed().as_secs_f64();
+                    merge_wait_s += waited;
+                    hub.registry.latency.merge_wait.record(waited);
                     pending.insert(c, p);
                     reorder_peak = reorder_peak.max(pending.len());
                     while let Some(mut p) = pending.remove(&state.merged_chunks) {
-                        let end = chunk_bounds(state.merged_chunks).1;
+                        let chunk = state.merged_chunks;
+                        let end = chunk_bounds(chunk).1;
                         let prov = std::mem::take(&mut p.provenance);
                         let level = p.level;
+                        let lat = std::mem::take(&mut p.latency);
+                        let info = ChunkMergeInfo {
+                            chunk,
+                            level,
+                            stats: p.stats,
+                        };
                         state.fold(p, end);
+                        hub.registry.latency.absorb(&lat);
                         if let Some(ratio) = state.plan_ratio {
                             let _ = plan_cell.set(MlmcPlan { ratio });
                         }
@@ -1471,7 +1773,7 @@ pub fn run_campaign_observed(
                             &mut success_log,
                             &mut replay_capture,
                         );
-                        if let Some(reason) = boundary(&state, observer) {
+                        if let Some(reason) = boundary(&state, observer, &mut hub, info) {
                             stop = reason;
                             stop_flag.store(true, Ordering::Relaxed);
                             break 'merge;
@@ -1529,6 +1831,7 @@ pub fn run_campaign_observed(
         kernel: options.kernel,
         program,
         scheduler,
+        latency: hub.registry.latency.summaries(),
     };
     let result = state.into_result(strategy.name(), stop, options.trace_points);
     observer.on_finish(&result);
@@ -1575,6 +1878,11 @@ pub fn run_campaign_observed(
                     "replay of run {idx} diverged from the campaign's provenance record"
                 );
                 eprintln!("[replay] verdict matches the campaign's record for run {idx}");
+                hub.emit(
+                    "replay_verified",
+                    start_time.elapsed().as_secs_f64(),
+                    &format!(", \"run\": {idx}, \"level\": {level}"),
+                );
             }
             None => eprintln!(
                 "[replay] run {idx} was not executed by this campaign invocation \
@@ -1631,6 +1939,21 @@ pub fn run_campaign_observed(
             eprintln!("failed to write trace {}: {e}", path.display());
         }
     }
+
+    hub.registry.gauge_set("workers", workers as f64);
+    hub.emit(
+        "campaign_finished",
+        start_time.elapsed().as_secs_f64(),
+        &format!(
+            ", \"stop_reason\": \"{}\", \"n\": {}, \"ssf_bits\": {}, \"successes\": {}",
+            result.stop.as_str(),
+            result.n,
+            bits_str(result.ssf),
+            result.successes,
+        ),
+    );
+    hub.flush_events();
+    hub.write_prom();
 
     if let Some(path) = &options.metrics_path {
         if let Err(e) = telemetry::write_metrics(path, &result, &meta) {
@@ -2092,7 +2415,8 @@ mod tests {
                 "--fast-forward" => "off",
                 "--target-eps" => "0.01",
                 "--target-confidence" => "0.9",
-                "--metrics" | "--checkpoint" | "--trace" => "/tmp/x.json",
+                "--stall-timeout" => "2.5",
+                "--metrics" | "--checkpoint" | "--trace" | "--events" | "--prom" => "/tmp/x.json",
                 _ => "3",
             };
             CampaignOptions::parse_args([flag.to_owned(), value.to_owned()])

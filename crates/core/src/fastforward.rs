@@ -38,8 +38,10 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::flow::Concluded;
+use crate::metrics::LatencyHist;
 use crate::model::Evaluation;
 use xlmc_soc::{MpuBit, Soc};
 
@@ -138,6 +140,10 @@ pub struct RtlFastForward {
     golden_verdict: Option<bool>,
     tick: u64,
     stats: FastForwardStats,
+    /// Wall-clock latency of each resume's positioning phase (snapshot
+    /// restore on a hit, checkpoint restore + replay on a miss) — pure
+    /// telemetry, harvested per chunk by the campaign engine.
+    restore_hist: LatencyHist,
 }
 
 impl Default for RtlFastForward {
@@ -162,6 +168,7 @@ impl RtlFastForward {
                 enabled,
                 ..FastForwardStats::default()
             },
+            restore_hist: LatencyHist::default(),
         }
     }
 
@@ -185,6 +192,13 @@ impl RtlFastForward {
         self.stats
     }
 
+    /// Drain the positioning-phase latency histogram accumulated since
+    /// the last call (the campaign engine harvests this per chunk into
+    /// the chunk partial's [`crate::metrics::LatencyShard`]).
+    pub fn take_restore_latency(&mut self) -> LatencyHist {
+        std::mem::take(&mut self.restore_hist)
+    }
+
     /// The full RTL tail of one conclusion: position the work system at the
     /// start of cycle `te + 1` (snapshot restore on a cache hit, reference
     /// restore-and-replay on a miss), write the errors back, and simulate to
@@ -199,6 +213,7 @@ impl RtlFastForward {
         }
         let work = self.work.as_mut().expect("work slot just filled");
 
+        let t_position = Instant::now();
         let mut positioned = false;
         if self.enabled {
             if let Some(snap) = self.snapshots.get_mut(&te) {
@@ -240,6 +255,7 @@ impl RtlFastForward {
                 );
             }
         }
+        self.restore_hist.record(t_position.elapsed().as_secs_f64());
 
         for &b in faulty_bits {
             work.mpu.toggle_bit(b);

@@ -171,6 +171,15 @@ impl FlowScratch {
     pub fn fast_forward_stats(&self) -> FastForwardStats {
         self.ff.stats()
     }
+
+    /// Drain latency observations (snapshot-restore timings) accumulated
+    /// since the last call into a shard for the chunk partial.
+    pub(crate) fn take_latency(&mut self) -> crate::metrics::LatencyShard {
+        crate::metrics::LatencyShard {
+            snapshot_restore: self.ff.take_restore_latency(),
+            ..crate::metrics::LatencyShard::default()
+        }
+    }
 }
 
 /// Executes attack runs against one evaluation setup.

@@ -69,7 +69,9 @@ pub mod estimator;
 pub mod fastforward;
 pub mod flow;
 pub mod harden;
+pub mod json;
 pub mod lifetime;
+pub mod metrics;
 pub mod model;
 pub mod multilevel;
 pub mod precharacterize;

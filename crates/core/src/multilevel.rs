@@ -579,6 +579,17 @@ impl MlmcScratch {
         s.add(&self.flow.fast_forward_stats());
         s
     }
+
+    /// Drain latency observations from both the level-0 resume state and
+    /// the nested gate-path scratch into one shard for the chunk partial.
+    pub(crate) fn take_latency(&mut self) -> crate::metrics::LatencyShard {
+        let mut shard = crate::metrics::LatencyShard {
+            snapshot_restore: self.ff.take_restore_latency(),
+            ..crate::metrics::LatencyShard::default()
+        };
+        shard.absorb(&self.flow.take_latency());
+        shard
+    }
 }
 
 /// The level-0 evaluation of one sample: map the spot to its multi-bit SEU

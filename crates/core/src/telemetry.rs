@@ -24,11 +24,16 @@
 //!   mid-write leaves the previous snapshot intact.
 //!
 //! The vendored `serde` is a no-op stub (no format crate in the offline
-//! build), so serialization here is a small hand-rolled JSON writer and
-//! recursive-descent parser ([`JsonValue`]).
+//! build), so serialization here goes through the hand-rolled JSON
+//! writer helpers and recursive-descent parser in [`crate::json`]
+//! (re-exported below for compatibility).
+
+pub use crate::json::{json_escape, validate_against_schema, JsonValue};
 
 use crate::estimator::{CampaignKernel, CampaignResult, ClassCounts, EstimatorKind};
 use crate::fastforward::FastForwardStats;
+use crate::json::{bits_str, f64_from_bits_str, get_u64, json_num};
+use crate::metrics::{LatencySummaries, LatencySummary, MlmcProgress};
 use crate::stats::RunningStats;
 use crate::trace::{counters_from_json, counters_json, CampaignCounters, KernelCounters};
 use std::collections::BTreeMap;
@@ -74,6 +79,11 @@ pub struct ProgressEvent {
     pub elapsed_s: f64,
     /// Fresh (non-resumed) runs per wall-clock second.
     pub runs_per_sec: f64,
+    /// Per-level MLMC progress (`None` under the single estimator):
+    /// the just-merged chunk's level and the live per-level run counts.
+    pub mlmc: Option<MlmcProgress>,
+    /// Digest of the per-chunk wall-time histogram merged so far.
+    pub chunk_wall: LatencySummary,
 }
 
 /// What the campaign driver should do after an observer callback.
@@ -159,8 +169,20 @@ impl CampaignObserver for StderrProgress {
             } else {
                 String::new()
             };
+            let mlmc = ev.mlmc.map_or(String::new(), |m| {
+                format!("  lvl=L{}  share1={:.1}%", m.level, 100.0 * m.share1())
+            });
+            let lat = if ev.chunk_wall.count > 0 {
+                format!(
+                    "  chunk p50={:.1}ms p99={:.1}ms",
+                    1e3 * ev.chunk_wall.p50_s,
+                    1e3 * ev.chunk_wall.p99_s
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[{}] {}/{} runs  ssf={:.5}  s2={:.3e}  ess={:.0}{}{}{}  {:.0} runs/s",
+                "[{}] {}/{} runs  ssf={:.5}  s2={:.3e}  ess={:.0}{}{}{}{}{}  {:.0} runs/s",
                 self.label,
                 ev.runs_done,
                 ev.total_runs,
@@ -170,298 +192,13 @@ impl CampaignObserver for StderrProgress {
                 bound,
                 memo,
                 occ,
+                mlmc,
+                lat,
                 ev.runs_per_sec,
             );
         }
         ObserverAction::Continue
     }
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value, parser, and writer helpers
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON document (object keys keep file order).
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<JsonValue>),
-    /// An object.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Parse a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    pub fn parse(src: &str) -> Result<JsonValue, String> {
-        let bytes = src.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    /// Member lookup on an object.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a finite `f64`, if it is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
-                Some(*x as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice.
-    pub fn as_arr(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// The JSON type name used by the schema validator.
-    fn type_name(&self) -> &'static str {
-        match self {
-            JsonValue::Null => "null",
-            JsonValue::Bool(_) => "boolean",
-            JsonValue::Num(x) if x.fract() == 0.0 => "integer",
-            JsonValue::Num(_) => "number",
-            JsonValue::Str(_) => "string",
-            JsonValue::Arr(_) => "array",
-            JsonValue::Obj(_) => "object",
-        }
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if bytes.get(*pos) == Some(&b) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {:?} at byte {} of JSON input",
-            b as char, *pos
-        ))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => {
-            *pos += 1;
-            let mut members = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(JsonValue::Obj(members));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                members.push((key, parse_value(bytes, pos)?));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(JsonValue::Obj(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(JsonValue::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(JsonValue::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(JsonValue::Bool(true))
-        }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(JsonValue::Bool(false))
-        }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(JsonValue::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-            text.parse::<f64>()
-                .map(JsonValue::Num)
-                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
-        }
-        None => Err("unexpected end of JSON input".to_owned()),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("invalid escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a valid &str).
-                let start = *pos;
-                *pos += 1;
-                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
-                    *pos += 1;
-                }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
-            }
-            None => return Err("unterminated string".to_owned()),
-        }
-    }
-}
-
-/// Escape a string for embedding in JSON output.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A finite `f64` as a round-trippable JSON number, non-finite as `null`.
-pub(crate) fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// The IEEE-754 bit pattern of an `f64` as a hex JSON string — the
-/// bit-exact encoding every checkpoint float goes through.
-fn bits_str(x: f64) -> String {
-    format!("\"{:#018x}\"", x.to_bits())
-}
-
-fn f64_from_bits_str(v: &JsonValue, what: &str) -> Result<f64, String> {
-    let s = v
-        .as_str()
-        .ok_or_else(|| format!("{what}: expected a hex bit string"))?;
-    let digits = s
-        .strip_prefix("0x")
-        .ok_or_else(|| format!("{what}: missing 0x prefix in {s:?}"))?;
-    u64::from_str_radix(digits, 16)
-        .map(f64::from_bits)
-        .map_err(|e| format!("{what}: {e}"))
-}
-
-fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
-    obj.get(key)
-        .and_then(JsonValue::as_u64)
-        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -828,8 +565,10 @@ impl CampaignCheckpoint {
 /// `v2` added `host_cpus` and the `fast_forward` counter object; `v3`
 /// added `kernel`, the `program` shape object and the `scheduler`
 /// contention object; `v4` added `estimator` and the nullable `mlmc`
-/// per-level variance/cost/allocation object.
-pub const METRICS_FORMAT: &str = "xlmc-metrics-v4";
+/// per-level variance/cost/allocation object; `v5` moved `elapsed_s` and
+/// `runs_per_sec` under a `timing` object that also carries the quantile
+/// digests of the five engine latency histograms.
+pub const METRICS_FORMAT: &str = "xlmc-metrics-v5";
 
 /// Shape of the compiled gate program driving the campaign (all zeros
 /// when the model netlist could not be levelized — never the case for the
@@ -892,6 +631,9 @@ pub struct MetricsMeta {
     pub program: ProgramStats,
     /// Merge-path scheduling and memo-contention observability.
     pub scheduler: SchedulerStats,
+    /// Quantile digests of the engine latency histograms (chunk wall,
+    /// merge wait, snapshot restore, kernel sweep, checkpoint write).
+    pub latency: LatencySummaries,
 }
 
 /// Render the finished campaign as the metrics JSON document.
@@ -928,8 +670,28 @@ pub fn metrics_json(result: &CampaignResult, meta: &MetricsMeta) -> String {
         meta.target_eps
             .map_or("null".to_owned(), |e| json_num(result.lln_bound(e)))
     );
-    let _ = writeln!(s, "  \"elapsed_s\": {},", json_num(meta.elapsed_s));
-    let _ = writeln!(s, "  \"runs_per_sec\": {},", json_num(meta.runs_per_sec));
+    let _ = writeln!(
+        s,
+        "  \"timing\": {{\"elapsed_s\": {}, \"runs_per_sec\": {}, \"latency\": {{",
+        json_num(meta.elapsed_s),
+        json_num(meta.runs_per_sec),
+    );
+    let digests = meta.latency.iter_named();
+    for (i, (name, d)) in digests.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{\"count\": {}, \"p50_s\": {}, \"p90_s\": {}, \"p99_s\": {}, \
+             \"max_s\": {}, \"sum_s\": {}}}{}",
+            d.count,
+            json_num(d.p50_s),
+            json_num(d.p90_s),
+            json_num(d.p99_s),
+            json_num(d.max_s),
+            json_num(d.sum_s),
+            if i + 1 < digests.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  }},\n");
     let _ = writeln!(s, "  \"host_cpus\": {},", meta.host_cpus);
     let _ = writeln!(s, "  \"kernel\": \"{}\",", meta.kernel.as_arg());
     let _ = writeln!(s, "  \"estimator\": \"{}\",", result.estimator.as_arg());
@@ -1029,64 +791,6 @@ pub fn write_metrics(path: &Path, result: &CampaignResult, meta: &MetricsMeta) -
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, metrics_json(result, meta))?;
     std::fs::rename(&tmp, path)
-}
-
-// ---------------------------------------------------------------------------
-// Schema validation
-// ---------------------------------------------------------------------------
-
-/// Validate `doc` against a JSON-Schema-style document supporting the
-/// subset the checked-in `schemas/metrics.schema.json` uses: `type`
-/// (string or array of strings, with `integer` ⊂ `number`), `required`,
-/// `properties`, `items`, and `enum` (of strings). Returns the first
-/// violation found, with a path.
-pub fn validate_against_schema(doc: &JsonValue, schema: &JsonValue) -> Result<(), String> {
-    validate_at(doc, schema, "$")
-}
-
-fn validate_at(doc: &JsonValue, schema: &JsonValue, path: &str) -> Result<(), String> {
-    if let Some(ty) = schema.get("type") {
-        let allowed: Vec<&str> = match ty {
-            JsonValue::Str(s) => vec![s.as_str()],
-            JsonValue::Arr(items) => items.iter().filter_map(JsonValue::as_str).collect(),
-            _ => return Err(format!("{path}: malformed schema type")),
-        };
-        let actual = doc.type_name();
-        let ok = allowed
-            .iter()
-            .any(|&t| t == actual || (t == "number" && actual == "integer"));
-        if !ok {
-            return Err(format!("{path}: expected type {allowed:?}, got {actual}"));
-        }
-    }
-    if let Some(JsonValue::Arr(options)) = schema.get("enum") {
-        if !options.contains(doc) {
-            return Err(format!("{path}: value not in schema enum"));
-        }
-    }
-    // Like draft-07, `required` constrains objects only — a nullable
-    // object field (`"type": ["object", "null"]`) passes as `null`.
-    if let (Some(JsonValue::Arr(required)), JsonValue::Obj(_)) = (schema.get("required"), doc) {
-        for key in required.iter().filter_map(JsonValue::as_str) {
-            if doc.get(key).is_none() {
-                return Err(format!("{path}: missing required field {key:?}"));
-            }
-        }
-    }
-    if let (Some(JsonValue::Obj(props)), JsonValue::Obj(members)) = (schema.get("properties"), doc)
-    {
-        for (key, value) in members {
-            if let Some((_, sub)) = props.iter().find(|(k, _)| k == key) {
-                validate_at(value, sub, &format!("{path}.{key}"))?;
-            }
-        }
-    }
-    if let (Some(items), JsonValue::Arr(elems)) = (schema.get("items"), doc) {
-        for (i, elem) in elems.iter().enumerate() {
-            validate_at(elem, items, &format!("{path}[{i}]"))?;
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -1282,6 +986,13 @@ mod tests {
                 memo_front_hits: 10,
                 memo_front_misses: 14,
             },
+            latency: {
+                let mut shard = crate::metrics::LatencyShard::default();
+                shard.chunk_wall.record(0.012);
+                shard.chunk_wall.record(0.034);
+                shard.checkpoint_write.record(0.002);
+                shard.summaries()
+            },
         };
         let doc = JsonValue::parse(&metrics_json(&result, &meta)).unwrap();
         assert_eq!(
@@ -1335,6 +1046,29 @@ mod tests {
             ff.get("cycles_skipped").and_then(JsonValue::as_u64),
             Some(4321)
         );
+        let timing = doc.get("timing").unwrap();
+        assert_eq!(
+            timing.get("elapsed_s").and_then(JsonValue::as_f64),
+            Some(1.5)
+        );
+        assert_eq!(
+            timing.get("runs_per_sec").and_then(JsonValue::as_f64),
+            Some(682.6)
+        );
+        let lat = timing.get("latency").unwrap();
+        let cw = lat.get("chunk_wall").unwrap();
+        assert_eq!(cw.get("count").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(cw.get("max_s").and_then(JsonValue::as_f64), Some(0.034));
+        assert_eq!(
+            lat.get("merge_wait")
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        assert!(
+            doc.get("elapsed_s").is_none(),
+            "elapsed_s moved into timing"
+        );
         let trace = doc.get("trace").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[1].as_arr().unwrap()[0].as_u64(), Some(1024));
@@ -1386,6 +1120,19 @@ mod tests {
             kernel_counters: KernelCounters::default(),
             elapsed_s: 0.5,
             runs_per_sec: 1024.0,
+            mlmc: Some(MlmcProgress {
+                level: 1,
+                n0: 256,
+                n1: 256,
+            }),
+            chunk_wall: LatencySummary {
+                count: 1,
+                p50_s: 0.01,
+                p90_s: 0.01,
+                p99_s: 0.01,
+                max_s: 0.01,
+                sum_s: 0.01,
+            },
         };
         assert_eq!(p.on_progress(&ev), ObserverAction::Continue);
         // Second call inside the interval is rate-limited but still

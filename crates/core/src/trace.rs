@@ -29,7 +29,7 @@
 //! outcomes; provenance is copied out of the fold, never fed back in.
 
 use crate::flow::StrikeClass;
-use crate::telemetry::{json_escape, json_num, JsonValue};
+use crate::json::{json_escape, json_num, JsonValue};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
